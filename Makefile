@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race cover bench bench-figures experiments experiments-full fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -25
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Only the per-figure benchmarks (fast sanity pass).
+bench-figures:
+	$(GO) test -bench='BenchmarkFig' -benchtime=1x .
+
+# The paper's evaluation at CI scale / Table-2 scale.
+experiments:
+	$(GO) run ./cmd/imgrn-bench -exp all
+
+experiments-full:
+	$(GO) run ./cmd/imgrn-bench -exp all -mode full
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	rm -f cover.out

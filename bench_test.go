@@ -1,0 +1,509 @@
+// Benchmarks regenerating every table/figure of the paper's evaluation
+// (Section 6 and Appendices G/H) plus micro-benchmarks of the substrates
+// and the ablation studies called out in DESIGN.md. Figure benchmarks run
+// the corresponding experiment at a reduced, fixed scale so that
+// `go test -bench=.` completes in minutes; the full-scale sweeps are
+// produced by `go run ./cmd/imgrn-bench -mode full`.
+package imgrn_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/experiments"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/pivot"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/rstar"
+	"github.com/imgrn/imgrn/internal/stats"
+	"github.com/imgrn/imgrn/internal/subiso"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// benchParams is the fixed reduced scale used by the figure benchmarks.
+func benchParams() experiments.Params {
+	p := experiments.Fast()
+	p.N = 300
+	p.Queries = 3
+	p.Samples = 48
+	p.EmbedSamples = 24
+	return p
+}
+
+func benchmarkFigure(b *testing.B, name string) {
+	p := benchParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(name, p, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per table/figure of the evaluation.
+func BenchmarkFig5a(b *testing.B) { benchmarkFigure(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B) { benchmarkFigure(b, "fig5b") }
+func BenchmarkFig6(b *testing.B)  { benchmarkFigure(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { benchmarkFigure(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { benchmarkFigure(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { benchmarkFigure(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { benchmarkFigure(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { benchmarkFigure(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchmarkFigure(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchmarkFigure(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchmarkFigure(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchmarkFigure(b, "fig15") }
+
+// --- substrate micro-benchmarks -------------------------------------------
+
+func benchVectors(l int, seed uint64) (xs, xt []float64) {
+	rng := randgen.New(seed)
+	xs = make([]float64, l)
+	xt = make([]float64, l)
+	for i := 0; i < l; i++ {
+		xs[i] = rng.Gaussian(0, 1)
+		xt[i] = 0.4*xs[i] + rng.Gaussian(0, 1)
+	}
+	return xs, xt
+}
+
+func BenchmarkEdgeProbabilityMC(b *testing.B) {
+	xs, xt := benchVectors(50, 1)
+	m, _ := gene.NewMatrix(0, []gene.ID{0, 1}, [][]float64{xs, xt})
+	sc := grn.NewRandomizedScorer(2, stats.DefaultSamples)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Score(m, 0, 1)
+	}
+}
+
+func BenchmarkEdgeProbabilityAnalytic(b *testing.B) {
+	xs, xt := benchVectors(50, 3)
+	m, _ := gene.NewMatrix(0, []gene.ID{0, 1}, [][]float64{xs, xt})
+	sc := grn.AnalyticScorer{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.Score(m, 0, 1)
+	}
+}
+
+func BenchmarkExpectedPermDistance(b *testing.B) {
+	xs, xt := benchVectors(50, 4)
+	est := stats.NewEstimator(5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.ExpectedPermDistance(xs, xt, 64)
+	}
+}
+
+func benchDataset(b *testing.B, n int, seed uint64) *synth.Dataset {
+	b.Helper()
+	ds, err := synth.GenerateDatabase(synth.DBParams{
+		N: n, NMin: 20, NMax: 40, LMin: 10, LMax: 20,
+		Dist: synth.Uniform, GenePool: 1000, Seed: seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	ds := benchDataset(b, 200, 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := index.Build(ds.DB, index.Options{D: 2, Samples: 24, Seed: 6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPivotSelection(b *testing.B) {
+	ds := benchDataset(b, 1, 7)
+	m := ds.DB.Matrix(0)
+	rng := randgen.New(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pivot.SelectPivots(m, 2, pivot.DefaultSelection, rng)
+	}
+}
+
+func BenchmarkPivotEmbed(b *testing.B) {
+	ds := benchDataset(b, 1, 9)
+	m := ds.DB.Matrix(0)
+	est := stats.NewEstimator(10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pivot.Embed(m, []int{0, 1}, est, 24); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchItems(n, dim int, seed uint64) []rstar.Item {
+	rng := randgen.New(seed)
+	items := make([]rstar.Item, n)
+	for i := range items {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = rng.UniformIn(0, 100)
+		}
+		items[i] = rstar.Item{Point: p, Ref: uint64(i)}
+	}
+	return items
+}
+
+func BenchmarkRStarInsert(b *testing.B) {
+	items := benchItems(2000, 5, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, _ := rstar.NewTree(rstar.Config{Dim: 5})
+		for _, it := range items {
+			if err := tree.Insert(it); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRStarBulkLoad(b *testing.B) {
+	items := benchItems(2000, 5, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, _ := rstar.NewTree(rstar.Config{Dim: 5})
+		if err := tree.BulkLoad(items); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRStarSearch(b *testing.B) {
+	items := benchItems(5000, 5, 13)
+	tree, _ := rstar.NewTree(rstar.Config{Dim: 5})
+	if err := tree.BulkLoad(items); err != nil {
+		b.Fatal(err)
+	}
+	r := rstar.Rect{
+		Min: []float64{10, 10, 10, 10, 10},
+		Max: []float64{30, 30, 30, 30, 30},
+	}
+	var buf []rstar.Item
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tree.Search(r, buf[:0])
+	}
+}
+
+func BenchmarkSubgraphIsoFastPath(b *testing.B) {
+	rng := randgen.New(14)
+	ids := make([]gene.ID, 100)
+	for i := range ids {
+		ids[i] = gene.ID(i) // unique labels: fast path
+	}
+	data := grn.NewGraph(ids)
+	for i := 0; i < 300; i++ {
+		s, t := rng.Intn(100), rng.Intn(100)
+		if s != t {
+			data.SetEdge(s, t, 0.9)
+		}
+	}
+	query := grn.NewGraph([]gene.ID{1, 2, 3})
+	query.SetEdge(0, 1, 0.5)
+	query.SetEdge(1, 2, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subiso.Find(query, data, subiso.Options{Alpha: 0.1})
+	}
+}
+
+func BenchmarkSubgraphIsoGeneral(b *testing.B) {
+	rng := randgen.New(15)
+	ids := make([]gene.ID, 100)
+	for i := range ids {
+		ids[i] = gene.ID(i % 10) // duplicate labels: general VF2
+	}
+	data := grn.NewGraph(ids)
+	for i := 0; i < 300; i++ {
+		s, t := rng.Intn(100), rng.Intn(100)
+		if s != t {
+			data.SetEdge(s, t, 0.9)
+		}
+	}
+	query := grn.NewGraph([]gene.ID{1, 2, 3})
+	query.SetEdge(0, 1, 0.5)
+	query.SetEdge(1, 2, 0.5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subiso.Find(query, data, subiso.Options{Alpha: 0.1})
+	}
+}
+
+// --- the Figure-6 triangle as a direct micro-benchmark --------------------
+
+type queryBench struct {
+	ds      *synth.Dataset
+	idx     *index.Index
+	queries []*gene.Matrix
+}
+
+func setupQueryBench(b *testing.B, seed uint64) *queryBench {
+	b.Helper()
+	ds := benchDataset(b, 300, seed)
+	idx, err := index.Build(ds.DB, index.Options{D: 2, Samples: 24, Seed: seed, Bits: 1024, BufferPages: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := randgen.New(seed ^ 0xabcdef)
+	var queries []*gene.Matrix
+	for i := 0; i < 5; i++ {
+		q, _, err := ds.ExtractQuery(rng, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	return &queryBench{ds: ds, idx: idx, queries: queries}
+}
+
+func BenchmarkQueryIMGRN(b *testing.B) {
+	qb := setupQueryBench(b, 16)
+	proc, err := core.NewProcessor(qb.idx, core.Params{Gamma: 0.5, Alpha: 0.5, Samples: 48, Seed: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := proc.Query(qb.queries[i%len(qb.queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryBaseline(b *testing.B) {
+	qb := setupQueryBench(b, 17)
+	base, err := core.BuildBaseline(qb.ds.DB, core.Params{Gamma: 0.5, Alpha: 0.5, Seed: 17, Analytic: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := base.Query(qb.queries[i%len(qb.queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryLinearScan(b *testing.B) {
+	qb := setupQueryBench(b, 18)
+	ls, err := core.NewLinearScan(qb.ds.DB, core.Params{Gamma: 0.5, Alpha: 0.5, Samples: 48, Seed: 18})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ls.Query(qb.queries[i%len(qb.queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablations (DESIGN.md §5) ----------------------------------------------
+
+// BenchmarkAblationPruning toggles individual pruning layers of the
+// traversal and reports the candidate count and I/O alongside time.
+func BenchmarkAblationPruning(b *testing.B) {
+	qb := setupQueryBench(b, 19)
+	cases := []struct {
+		name   string
+		params core.Params
+	}{
+		{"full", core.Params{Gamma: 0.5, Alpha: 0.5, Seed: 19, Analytic: true}},
+		{"noLemma6", core.Params{Gamma: 0.5, Alpha: 0.5, Seed: 19, Analytic: true, DisableIndexPruning: true}},
+		{"noPPR", core.Params{Gamma: 0.5, Alpha: 0.5, Seed: 19, Analytic: true, DisablePivotPruning: true}},
+		{"noSignatures", core.Params{Gamma: 0.5, Alpha: 0.5, Seed: 19, Analytic: true, DisableSignatures: true}},
+		{"noGeneRange", core.Params{Gamma: 0.5, Alpha: 0.5, Seed: 19, Analytic: true, DisableGeneRange: true}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			proc, err := core.NewProcessor(qb.idx, c.params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var cand, io float64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := proc.Query(qb.queries[i%len(qb.queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				cand += float64(st.CandidateGenes)
+				io += float64(st.IOCost)
+			}
+			b.ReportMetric(cand/float64(b.N), "candidates/query")
+			b.ReportMetric(io/float64(b.N), "pages/query")
+		})
+	}
+}
+
+// BenchmarkAblationPivotSelection compares the Figure-3 cost-model search
+// with uniformly random pivots, reporting the achieved cost T_i.
+func BenchmarkAblationPivotSelection(b *testing.B) {
+	ds := benchDataset(b, 1, 20)
+	m := ds.DB.Matrix(0)
+	b.Run("costModel", func(b *testing.B) {
+		rng := randgen.New(21)
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			piv := pivot.SelectPivots(m, 2, pivot.DefaultSelection, rng)
+			cost += pivot.Cost(m, piv)
+		}
+		b.ReportMetric(cost/float64(b.N), "T_i")
+	})
+	b.Run("random", func(b *testing.B) {
+		rng := randgen.New(21)
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			piv := rng.SampleWithoutReplacement(m.NumGenes(), 2)
+			cost += pivot.Cost(m, piv)
+		}
+		b.ReportMetric(cost/float64(b.N), "T_i")
+	})
+}
+
+// BenchmarkAblationSamples sweeps the Monte Carlo budget of the Lemma-2
+// estimator and reports the deviation from the exhaustive probability.
+func BenchmarkAblationSamples(b *testing.B) {
+	rng := randgen.New(22)
+	xs := make([]float64, 7)
+	xt := make([]float64, 7)
+	for i := range xs {
+		xs[i] = rng.Gaussian(0, 1)
+		xt[i] = 0.5*xs[i] + rng.Gaussian(0, 1)
+	}
+	m, _ := gene.NewMatrix(0, []gene.ID{0, 1}, [][]float64{xs, xt})
+	exact := stats.ExactAbsEdgeProbability(m.StdCol(0), m.StdCol(1))
+	for _, s := range []int{16, 64, 256, 1024} {
+		b.Run(benchName("S", s), func(b *testing.B) {
+			est := stats.NewEstimator(uint64(s))
+			var dev float64
+			for i := 0; i < b.N; i++ {
+				p := est.AbsEdgeProbability(m.StdCol(0), m.StdCol(1), s)
+				if p > exact {
+					dev += p - exact
+				} else {
+					dev += exact - p
+				}
+			}
+			b.ReportMetric(dev/float64(b.N), "abs-error")
+		})
+	}
+}
+
+// BenchmarkAblationMatcher pits the unique-label fast path against forcing
+// the general VF2 search on the same workload via a wildcard label.
+func BenchmarkAblationMatcher(b *testing.B) {
+	rng := randgen.New(23)
+	ids := make([]gene.ID, 60)
+	for i := range ids {
+		ids[i] = gene.ID(i)
+	}
+	data := grn.NewGraph(ids)
+	for i := 0; i < 150; i++ {
+		s, t := rng.Intn(60), rng.Intn(60)
+		if s != t {
+			data.SetEdge(s, t, 0.9)
+		}
+	}
+	fast := grn.NewGraph([]gene.ID{1, 2, 3})
+	fast.SetEdge(0, 1, 0.5)
+	fast.SetEdge(1, 2, 0.5)
+	general := grn.NewGraph([]gene.ID{1, 2, subiso.Wildcard})
+	general.SetEdge(0, 1, 0.5)
+	general.SetEdge(1, 2, 0.5)
+	b.Run("fastPath", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subiso.Find(fast, data, subiso.Options{})
+		}
+	})
+	b.Run("generalVF2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			subiso.Find(general, data, subiso.Options{})
+		}
+	})
+}
+
+func benchName(prefix string, v int) string {
+	digits := ""
+	if v == 0 {
+		digits = "0"
+	}
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return prefix + digits
+}
+
+// BenchmarkAblationGeneLayout quantifies the gene-ID-primary bulk-loading
+// layout (the Section-5.1 design point of including the gene dimension):
+// the same workload over a gene-clustered index vs a natural STR layout.
+func BenchmarkAblationGeneLayout(b *testing.B) {
+	ds := benchDataset(b, 300, 24)
+	rng := randgen.New(25)
+	var queries []*gene.Matrix
+	for i := 0; i < 5; i++ {
+		q, _, err := ds.ExtractQuery(rng, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
+	for _, c := range []struct {
+		name    string
+		natural bool
+	}{{"geneClustered", false}, {"naturalSTR", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			idx, err := index.Build(ds.DB, index.Options{
+				D: 2, Samples: 24, Seed: 24, Bits: 1024,
+				BufferPages: 1024, NaturalSTRLayout: c.natural,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			proc, err := core.NewProcessor(idx, core.Params{
+				Gamma: 0.5, Alpha: 0.5, Seed: 24, Analytic: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var io float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, st, err := proc.Query(queries[i%len(queries)])
+				if err != nil {
+					b.Fatal(err)
+				}
+				io += float64(st.IOCost)
+			}
+			b.ReportMetric(io/float64(b.N), "pages/query")
+		})
+	}
+}

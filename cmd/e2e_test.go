@@ -1,0 +1,190 @@
+// Package cmd_test drives the command-line tools end to end: it builds the
+// binaries with the local toolchain, generates a database with
+// imgrn-datagen, answers queries with imgrn (including index persistence),
+// and runs one harness experiment with imgrn-bench.
+package cmd_test
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the CLI binaries once into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, tool := range []string{"imgrn", "imgrn-datagen", "imgrn-bench", "imgrn-server"} {
+		out := filepath.Join(dir, tool)
+		cmd := exec.Command("go", "build", "-o", out, "./"+tool)
+		cmd.Dir = mustSelfDir(t)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", tool, err, msg)
+		}
+	}
+	return dir
+}
+
+// mustSelfDir returns the cmd/ directory this test file lives in.
+func mustSelfDir(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	dbPath := filepath.Join(work, "db.imgrn")
+	queryPath := filepath.Join(work, "q.imgrn")
+	idxPath := filepath.Join(work, "idx.imgrn")
+
+	// 1. Generate a small database and an even smaller query set drawn
+	//    from the same seed (guaranteeing shared genes).
+	out := run(t, filepath.Join(bins, "imgrn-datagen"),
+		"-out", dbPath, "-n", "60", "-nmin", "8", "-nmax", "14",
+		"-lmin", "10", "-lmax", "14", "-pool", "40", "-seed", "5")
+	if !strings.Contains(out, "60 matrices") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	run(t, filepath.Join(bins, "imgrn-datagen"),
+		"-out", queryPath, "-n", "2", "-nmin", "4", "-nmax", "5",
+		"-lmin", "10", "-lmax", "12", "-pool", "40", "-seed", "5")
+
+	// 2. Index stats only.
+	out = run(t, filepath.Join(bins, "imgrn"), "-db", dbPath, "-stats")
+	if !strings.Contains(out, "index:") {
+		t.Fatalf("imgrn -stats output: %s", out)
+	}
+
+	// 3. Query, persisting the index.
+	out = run(t, filepath.Join(bins, "imgrn"),
+		"-db", dbPath, "-query-db", queryPath, "-index", idxPath,
+		"-gamma", "0.5", "-alpha", "0.3", "-analytic")
+	if !strings.Contains(out, "query") {
+		t.Fatalf("imgrn query output: %s", out)
+	}
+	if _, err := os.Stat(idxPath); err != nil {
+		t.Fatalf("index not persisted: %v", err)
+	}
+
+	// 4. Re-query from the saved index; answers must match.
+	out2 := run(t, filepath.Join(bins, "imgrn"),
+		"-db", dbPath, "-query-db", queryPath, "-index", idxPath,
+		"-gamma", "0.5", "-alpha", "0.3", "-analytic")
+	if answersOf(out) != answersOf(out2) {
+		t.Errorf("answers differ between fresh and loaded index:\n%s\nvs\n%s", out, out2)
+	}
+
+	// 5. One harness experiment at a reduced size.
+	out = run(t, filepath.Join(bins, "imgrn-bench"),
+		"-exp", "fig8", "-n", "120", "-queries", "2", "-analytic")
+	if !strings.Contains(out, "fig8a") || !strings.Contains(out, "I/O cost") {
+		t.Fatalf("bench output incomplete: %s", out)
+	}
+
+	// 6. The bench registry listing.
+	out = run(t, filepath.Join(bins, "imgrn-bench"), "-list")
+	if !strings.Contains(out, "fig12") {
+		t.Fatalf("bench -list output: %s", out)
+	}
+}
+
+// answersOf strips the timing-dependent parts of imgrn output, keeping
+// only the "source … Pr{G}=…" result lines.
+func answersOf(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "Pr{G}=") {
+			keep = append(keep, strings.TrimSpace(line))
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestServerEndToEnd boots the HTTP server binary against a generated
+// database and exercises the JSON API over a real socket.
+func TestServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	bins := buildTools(t)
+	work := t.TempDir()
+	dbPath := filepath.Join(work, "db.imgrn")
+	run(t, filepath.Join(bins, "imgrn-datagen"),
+		"-out", dbPath, "-n", "30", "-nmin", "6", "-nmax", "10",
+		"-lmin", "10", "-lmax", "12", "-pool", "30", "-seed", "9")
+
+	addr := "127.0.0.1:39181"
+	cmd := exec.Command(filepath.Join(bins, "imgrn-server"),
+		"-db", dbPath, "-addr", addr, "-seed", "9")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Wait for the listener.
+	base := "http://" + addr
+	var resp *http.Response
+	var err error
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err = http.Get(base + "/healthz")
+		if err == nil {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("server never became healthy: %v", err)
+	}
+	resp.Body.Close()
+
+	// Stats.
+	resp, err = http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"matrices":30`) {
+		t.Fatalf("stats: %d %s", resp.StatusCode, body)
+	}
+
+	// A graph query over numeric gene IDs.
+	payload := `{"genes":["0","1"],"edges":[{"s":0,"t":1,"prob":0.9}],` +
+		`"params":{"gamma":0.5,"alpha":0.3,"analytic":true}}`
+	resp, err = http.Post(base+"/query-graph", "application/json", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"answers"`) {
+		t.Fatalf("query-graph: %d %s", resp.StatusCode, body)
+	}
+}

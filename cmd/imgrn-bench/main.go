@@ -1,0 +1,79 @@
+// Command imgrn-bench regenerates the paper's evaluation: one experiment
+// per table/figure of Section 6 (plus Appendices G and H), printing the
+// same rows/series the paper reports.
+//
+// Usage:
+//
+//	imgrn-bench -exp fig7            # one experiment, fast scale
+//	imgrn-bench -exp all -mode full  # the whole evaluation at Table-2 scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/imgrn/imgrn/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment to run (fig5a…fig15, or 'all')")
+		mode     = flag.String("mode", "fast", "reproduction scale: micro, fast or full")
+		seed     = flag.Uint64("seed", 42, "random seed")
+		queries  = flag.Int("queries", 0, "override query count per measurement")
+		n        = flag.Int("n", 0, "override database size N")
+		samples  = flag.Int("samples", 0, "override Monte Carlo samples")
+		analytic = flag.Bool("analytic", false, "use the analytic permutation-null estimator")
+		nsweep   = flag.String("nsweep", "", "override the fig12/fig13 database-size sweep (comma-separated Ns)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	p, err := experiments.ByMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	p.Seed = *seed
+	p.Analytic = *analytic
+	if *queries > 0 {
+		p.Queries = *queries
+	}
+	if *n > 0 {
+		p.N = *n
+	}
+	if *samples > 0 {
+		p.Samples = *samples
+	}
+	if *nsweep != "" {
+		for _, part := range strings.Split(*nsweep, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad -nsweep entry %q", part))
+			}
+			p.NSweepOverride = append(p.NSweepOverride, v)
+		}
+	}
+
+	if *exp == "all" {
+		if err := experiments.RunAll(p, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("### %s (%s)\n", *exp, p)
+	if err := experiments.Run(*exp, p, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imgrn-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command imgrn-server serves IM-GRN queries over HTTP: it loads a gene
+// feature database, builds (or loads) the index, and exposes the JSON API
+// of internal/server — the prototype-system interface described in the
+// paper's conclusion.
+//
+// Usage:
+//
+//	imgrn-server -db db.imgrn -addr :8080
+//	imgrn-server -db db.imgrn -index idx.imgrn   # reuse a saved index
+//
+// Example query:
+//
+//	curl -s localhost:8080/query-graph -d '{
+//	  "genes": ["12", "47"],
+//	  "edges": [{"s": 0, "t": 1, "prob": 0.9}],
+//	  "params": {"gamma": 0.5, "alpha": 0.5}
+//	}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/server"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "database file (required)")
+		idxPath = flag.String("index", "", "saved index file (optional; built fresh when absent, and written here afterwards when set)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		d       = flag.Int("d", 2, "pivots per matrix when building")
+		seed    = flag.Uint64("seed", 42, "random seed when building")
+	)
+	flag.Parse()
+	if *dbPath == "" {
+		fatal(fmt.Errorf("-db is required"))
+	}
+	db, err := gene.LoadDatabase(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	sum := db.Summary()
+	fmt.Printf("database: %d matrices, %d vectors, %d distinct genes\n",
+		sum.Matrices, sum.TotalVectors, sum.DistinctGenes)
+
+	var idx *index.Index
+	if *idxPath != "" {
+		if idx, err = index.LoadFile(*idxPath, db); err == nil {
+			fmt.Printf("index: loaded from %s (%d vectors) in %v\n",
+				*idxPath, idx.Stats().Vectors, idx.Stats().Elapsed)
+		} else {
+			fmt.Printf("index: cannot load %s (%v); building fresh\n", *idxPath, err)
+		}
+	}
+	if idx == nil {
+		idx, err = index.Build(db, index.Options{D: *d, Seed: *seed, BufferPages: 1024})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("index: built %d vectors, %d nodes in %v\n",
+			idx.Stats().Vectors, idx.Stats().TreeNodes, idx.Stats().Elapsed)
+		if *idxPath != "" {
+			if err := idx.SaveFile(*idxPath); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("index: saved to %s\n", *idxPath)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(idx, nil),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Printf("listening on %s\n", *addr)
+	if err := srv.ListenAndServe(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "imgrn-server:", err)
+	os.Exit(1)
+}

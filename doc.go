@@ -1,0 +1,46 @@
+// Package imgrn is a library for ad-hoc inference and matching of gene
+// regulatory networks (GRNs) over gene feature databases, implementing the
+// IM-GRN system of "Efficient Ad-Hoc Graph Inference and Matching in
+// Biological Databases" (SIGMOD 2017).
+//
+// # Overview
+//
+// A gene feature database holds N matrices M_i, each recording feature
+// values of n_i genes over l_i individuals. Instead of materializing the
+// GRN of every matrix for every possible inference threshold, IM-GRN keeps
+// only the feature matrices and answers queries of the form:
+//
+//	given a query feature matrix M_Q, an inference threshold γ and a
+//	probabilistic threshold α, find every M_i whose inferred GRN contains
+//	a subgraph isomorphic to the GRN inferred from M_Q with appearance
+//	probability above α.
+//
+// Edges are inferred with a randomization-based probabilistic measure: the
+// probability that the Pearson correlation of two gene vectors exceeds the
+// correlation against a randomly permuted vector. The library reduces this
+// measure to Euclidean geometry (Lemma 1), prunes candidates with Markov
+// bounds and pivot embeddings, and indexes the embedded vectors in an
+// R*-tree with bit-vector signatures.
+//
+// # Quick start
+//
+//	db := imgrn.NewDatabase()
+//	// … add matrices with imgrn.NewMatrix …
+//	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2})
+//	if err != nil { … }
+//	answers, stats, err := eng.Query(queryMatrix, imgrn.QueryParams{
+//		Gamma: 0.5, Alpha: 0.5,
+//	})
+//
+// Beyond ad-hoc queries, the Engine supports ranked retrieval (QueryTopK),
+// querying hand-drawn probabilistic patterns (QueryGraph), online growth
+// and shrinkage of the database (AddMatrix / RemoveMatrix), and index
+// persistence (SaveIndex / OpenSaved) so the Monte Carlo embedding phase
+// runs once. GRNDistanceMatrix with ClusterKMedoids/ClusterAgglomerative
+// groups data sources by regulatory structure, and NewCalibratedScorer
+// generalizes the paper's randomization idea to any raw association
+// measure (absolute Pearson, Spearman, mutual information).
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduced evaluation.
+package imgrn

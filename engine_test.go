@@ -1,0 +1,243 @@
+package imgrn_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	imgrn "github.com/imgrn/imgrn"
+)
+
+func TestEngineSaveIndexOpenSaved(t *testing.T) {
+	db := buildPublicFixture(t, 12, 10)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Samples: 24, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := imgrn.OpenSaved(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := db.BySource(5).SubMatrix(-1, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := imgrn.QueryParams{Gamma: 0.6, Alpha: 0.4, Seed: 11, Analytic: true}
+	a1, _, err := eng.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _, err := eng2.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("answers differ after reload: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].Source != a2[i].Source || a1[i].Prob != a2[i].Prob {
+			t.Errorf("answer %d differs after reload", i)
+		}
+	}
+}
+
+func TestEngineQueryTopK(t *testing.T) {
+	db := buildPublicFixture(t, 15, 12)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Samples: 24, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := db.BySource(0).SubMatrix(-1, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := imgrn.QueryParams{Gamma: 0.6, Alpha: 0.2, Seed: 13, Analytic: true}
+	all, _, err := eng.QueryTopK(qm, params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 3 {
+		t.Skipf("fixture produced only %d matches", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Prob > all[i-1].Prob {
+			t.Fatal("TopK results not ranked by probability")
+		}
+	}
+	top3, _, err := eng.QueryTopK(qm, params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top3) != 3 {
+		t.Fatalf("TopK(3) returned %d", len(top3))
+	}
+	for i := range top3 {
+		if top3[i].Source != all[i].Source {
+			t.Error("TopK(3) is not the prefix of the full ranking")
+		}
+	}
+}
+
+// TestEngineConcurrentQueries verifies the engine's internal
+// serialization: concurrent queries race-free and each produces the same
+// result as a serial run (run with -race in CI).
+func TestEngineConcurrentQueries(t *testing.T) {
+	db := buildPublicFixture(t, 20, 14)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Samples: 24, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := imgrn.QueryParams{Gamma: 0.6, Alpha: 0.4, Seed: 15, Analytic: true}
+	queries := make([]*imgrn.Matrix, 8)
+	want := make([]int, len(queries))
+	for i := range queries {
+		qm, err := db.BySource(i).SubMatrix(-1, []int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = qm
+		a, _, err := eng.Query(qm, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = len(a)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(queries))
+	got := make([]int, len(queries))
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, _, err := eng.Query(queries[i], params)
+			errs[i] = err
+			got[i] = len(a)
+		}(i)
+	}
+	wg.Wait()
+	for i := range queries {
+		if errs[i] != nil {
+			t.Fatalf("concurrent query %d: %v", i, errs[i])
+		}
+		if got[i] != want[i] {
+			t.Errorf("concurrent query %d returned %d answers, serial run %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineAddRemoveMatrix(t *testing.T) {
+	db := buildPublicFixture(t, 8, 20)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Samples: 24, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := imgrn.QueryParams{Gamma: 0.6, Alpha: 0.4, Seed: 21, Analytic: true}
+	qm, err := db.BySource(0).SubMatrix(-1, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := eng.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow: a ninth source carrying the same module (reuse source 0's
+	// columns under a fresh source ID).
+	base := db.BySource(0)
+	cols := make([][]float64, base.NumGenes())
+	genes := make([]imgrn.GeneID, base.NumGenes())
+	for j := range cols {
+		cols[j] = base.Col(j)
+		genes[j] = base.Gene(j)
+	}
+	extra, err := imgrn.NewMatrix(99, genes, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.AddMatrix(extra); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := eng.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 {
+		t.Errorf("answers after add = %d, want %d", len(after), len(before)+1)
+	}
+	found := false
+	for _, a := range after {
+		if a.Source == 99 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("added source not matched")
+	}
+	// Shrink back.
+	if err := eng.RemoveMatrix(99); err != nil {
+		t.Fatal(err)
+	}
+	final, _, err := eng.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != len(before) {
+		t.Errorf("answers after remove = %d, want %d", len(final), len(before))
+	}
+	if err := eng.RemoveMatrix(99); err == nil {
+		t.Error("double remove should error")
+	}
+}
+
+func TestEngineClusteringHelpers(t *testing.T) {
+	db := buildPublicFixture(t, 6, 22)
+	dm, err := imgrn.GRNDistanceMatrix(db, imgrn.ClusterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Rows != 6 || dm.Cols != 6 {
+		t.Fatalf("distance matrix %dx%d", dm.Rows, dm.Cols)
+	}
+	res, err := imgrn.ClusterKMedoids(dm, 2, 2, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != 6 {
+		t.Errorf("assignments = %d", len(res.Assign))
+	}
+	agg, err := imgrn.ClusterAgglomerative(dm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imgrn.ClusterPurity(agg.Assign, res.Assign) < 0 {
+		t.Error("purity must be non-negative")
+	}
+	d, err := imgrn.GRNDistance(db.BySource(0), db.BySource(1), imgrn.ClusterOptions{})
+	if err != nil || d < 0 || d > 1 {
+		t.Errorf("pairwise distance = %v (err %v)", d, err)
+	}
+}
+
+func TestEngineRejectsNilInputs(t *testing.T) {
+	db := buildPublicFixture(t, 2, 60)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 1, Samples: 8, Seed: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := imgrn.QueryParams{Gamma: 0.5, Alpha: 0.5}
+	if _, _, err := eng.Query(nil, params); err == nil {
+		t.Error("nil matrix query should error")
+	}
+	if _, _, err := eng.QueryGraph(nil, params); err == nil {
+		t.Error("nil graph query should error")
+	}
+	if _, err := eng.InferGraph(nil, params); err == nil {
+		t.Error("nil inference input should error")
+	}
+	if err := eng.AddMatrix(nil); err == nil {
+		t.Error("nil AddMatrix should error")
+	}
+}

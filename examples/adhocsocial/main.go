@@ -1,0 +1,111 @@
+// Ad-hoc influence graphs (Appendix A of the paper): the IM-GRN machinery
+// generalizes to any domain where graph edges are inferred on the fly from
+// per-vertex feature data. Here, vertices are social-media accounts and a
+// feature vector records an account's daily activity on an ad-hoc topic;
+// an "influence" edge exists when two accounts' activity profiles are
+// correlated above the randomized confidence threshold. Communities whose
+// inferred influence pattern matches a query pattern (e.g. a known
+// coordinated-amplification motif) are retrieved without ever
+// materializing the influence networks.
+//
+// Run with: go run ./examples/adhocsocial
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	imgrn "github.com/imgrn/imgrn"
+)
+
+// Account IDs shared across communities (the same public figures are
+// discussed everywhere); per-community accounts fill the rest.
+const (
+	seedAccount  imgrn.GeneID = 0 // the originator of a campaign
+	amplifierOne imgrn.GeneID = 1
+	amplifierTwo imgrn.GeneID = 2
+)
+
+// synthesizeCommunity builds one community's topic-activity matrix over a
+// number of days. Coordinated communities copy the seed account's activity
+// with a delay-free linear response; organic ones act independently.
+func synthesizeCommunity(rng *rand.Rand, src, days int, coordinated bool) (*imgrn.Matrix, error) {
+	seed := make([]float64, days)
+	for i := range seed {
+		seed[i] = rng.NormFloat64()
+	}
+	activity := func(coef float64) []float64 {
+		col := make([]float64, days)
+		for i := range col {
+			base := 0.0
+			if coordinated {
+				base = coef * seed[i]
+			}
+			col[i] = base + 0.4*rng.NormFloat64()
+		}
+		return col
+	}
+	accounts := []imgrn.GeneID{seedAccount, amplifierOne, amplifierTwo,
+		imgrn.GeneID(1000 + src), imgrn.GeneID(2000 + src)}
+	cols := [][]float64{
+		activity(1),   // seed account
+		activity(0.9), // amplifier 1 mirrors the seed when coordinated
+		activity(0.9), // amplifier 2
+		activity(0),   // organic bystanders
+		activity(0),
+	}
+	return imgrn.NewMatrix(src, accounts, cols)
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+
+	db := imgrn.NewDatabase()
+	coordinated := map[int]bool{}
+	for src := 0; src < 36; src++ {
+		isCoord := src%4 == 0
+		coordinated[src] = isCoord
+		m, err := synthesizeCommunity(rng, src, 30+rng.Intn(20), isCoord)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Add(m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Seed: 41})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The analyst draws the amplification motif directly as a probabilistic
+	// pattern: seed influences both amplifiers.
+	pattern := imgrn.NewGraph([]imgrn.GeneID{seedAccount, amplifierOne, amplifierTwo})
+	pattern.SetEdge(0, 1, 0.9)
+	pattern.SetEdge(0, 2, 0.9)
+
+	answers, qs, err := eng.QueryGraph(pattern, imgrn.QueryParams{
+		Gamma: 0.8, Alpha: 0.6, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("amplification motif: %d accounts, %d influence edges\n",
+		pattern.NumVertices(), pattern.NumEdges())
+	fmt.Printf("scanned %d communities with %d page accesses, %d candidates\n",
+		db.Len(), qs.IOCost, qs.CandidateGenes)
+	tp, fp := 0, 0
+	for _, a := range answers {
+		tag := "organic"
+		if coordinated[a.Source] {
+			tag = "coordinated"
+			tp++
+		} else {
+			fp++
+		}
+		fmt.Printf("  community %-3d  Pr{motif} = %.4f  [%s]\n", a.Source, a.Prob, tag)
+	}
+	fmt.Printf("=> flagged %d coordinated communities (%d false positives) without materializing any influence network\n", tp, fp)
+}

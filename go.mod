@@ -1,0 +1,3 @@
+module github.com/imgrn/imgrn
+
+go 1.22

@@ -1,0 +1,350 @@
+package imgrn
+
+import (
+	"errors"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/imgrn/imgrn/internal/cluster"
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/subiso"
+	"github.com/imgrn/imgrn/internal/vecmath"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// GeneID identifies a gene across data sources.
+	GeneID = gene.ID
+	// Matrix is one gene feature matrix M_i (genes × individuals).
+	Matrix = gene.Matrix
+	// Database is a gene feature database D of N matrices.
+	Database = gene.Database
+	// Catalog maps gene names to IDs.
+	Catalog = gene.Catalog
+	// Graph is a probabilistic GRN.
+	Graph = grn.Graph
+	// Edge is a probabilistic GRN edge.
+	Edge = grn.Edge
+	// Scorer is a pluggable gene-interaction measure.
+	Scorer = grn.Scorer
+	// IndexOptions configures index construction.
+	IndexOptions = index.Options
+	// QueryParams carries the per-query thresholds (γ, α) and estimator
+	// settings.
+	QueryParams = core.Params
+	// Answer is one IM-GRN query result.
+	Answer = core.Answer
+	// QueryStats reports per-query cost metrics.
+	QueryStats = core.Stats
+	// SubgraphMatch is one embedding found by MatchSubgraph.
+	SubgraphMatch = subiso.Match
+)
+
+// WildcardGene is a query vertex label that matches any gene in
+// MatchSubgraph.
+const WildcardGene = subiso.Wildcard
+
+// NewDatabase returns an empty gene feature database.
+func NewDatabase() *Database { return gene.NewDatabase() }
+
+// NewMatrix builds a feature matrix from per-gene column vectors; genes[j]
+// labels cols[j] and all columns must have equal length (the number of
+// individuals sampled).
+func NewMatrix(source int, genes []GeneID, cols [][]float64) (*Matrix, error) {
+	return gene.NewMatrix(source, genes, cols)
+}
+
+// NewCatalog returns an empty gene-name catalog.
+func NewCatalog() *Catalog { return gene.NewCatalog() }
+
+// NewGraph returns a probabilistic GRN with the given vertex labels and no
+// edges; use SetEdge to add probabilistic interactions.
+func NewGraph(genes []GeneID) *Graph { return grn.NewGraph(genes) }
+
+// SaveDatabase / LoadDatabase persist databases in the binary IMGRNDB1
+// format.
+var (
+	SaveDatabase = gene.SaveDatabase
+	LoadDatabase = gene.LoadDatabase
+)
+
+// Engine couples a database with its IM-GRN index and answers queries.
+// Methods are safe for concurrent use; queries are serialized internally
+// because per-query I/O accounting shares the index's page accountant.
+// Exact edge-probability estimates are memoized across queries with
+// identical estimator settings.
+type Engine struct {
+	mu     sync.Mutex
+	idx    *index.Index
+	caches map[estimatorSig]*core.EdgeProbCache
+}
+
+// estimatorSig identifies one estimator configuration: caches must not be
+// shared across configurations.
+type estimatorSig struct {
+	samples  int
+	seed     uint64
+	analytic bool
+	oneSided bool
+}
+
+// cacheFor returns (creating if needed) the probability cache matching the
+// estimator settings of params. Caller must hold e.mu.
+func (e *Engine) cacheFor(params QueryParams) *core.EdgeProbCache {
+	sig := estimatorSig{
+		samples:  params.Samples,
+		seed:     params.Seed,
+		analytic: params.Analytic,
+		oneSided: params.OneSided,
+	}
+	if e.caches == nil {
+		e.caches = make(map[estimatorSig]*core.EdgeProbCache)
+	}
+	c, ok := e.caches[sig]
+	if !ok {
+		c = core.NewEdgeProbCache(0)
+		e.caches[sig] = c
+	}
+	return c
+}
+
+// invalidateCaches drops all memoized probabilities; called when the
+// underlying data changes.
+func (e *Engine) invalidateCaches() {
+	e.caches = nil
+}
+
+// Open builds the IM-GRN index over db and returns a query engine.
+// Construction embeds every gene vector via cost-model-selected pivots and
+// bulk-loads the R*-tree; it is the offline step of the system.
+func Open(db *Database, opts IndexOptions) (*Engine, error) {
+	idx, err := index.Build(db, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{idx: idx}, nil
+}
+
+// OpenSaved reconstructs an engine from an index previously written with
+// SaveIndex, skipping the expensive Monte Carlo embedding phase. db must be
+// the database the index was built over.
+func OpenSaved(r io.Reader, db *Database) (*Engine, error) {
+	idx, err := index.Load(r, db)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{idx: idx}, nil
+}
+
+// SaveIndex serializes the engine's index so a later process can OpenSaved
+// it without re-embedding the database.
+func (e *Engine) SaveIndex(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.idx.Save(w)
+}
+
+// Database returns the indexed database.
+func (e *Engine) Database() *Database { return e.idx.DB() }
+
+// IndexStats reports construction statistics (vectors, nodes, pages,
+// build time).
+func (e *Engine) IndexStats() index.BuildStats { return e.idx.Stats() }
+
+// Query answers an IM-GRN query: it infers the query GRN from mq at
+// params.Gamma and returns every database matrix whose inferred GRN
+// contains it with probability above params.Alpha.
+func (e *Engine) Query(mq *Matrix, params QueryParams) ([]Answer, QueryStats, error) {
+	if mq == nil {
+		return nil, QueryStats{}, errNilQuery
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	params.Cache = e.cacheFor(params)
+	proc, err := core.NewProcessor(e.idx, params)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return proc.Query(mq)
+}
+
+// QueryGraph answers an IM-GRN query for an already-constructed query GRN
+// (e.g. a hand-curated biomarker pattern).
+func (e *Engine) QueryGraph(q *Graph, params QueryParams) ([]Answer, QueryStats, error) {
+	if q == nil {
+		return nil, QueryStats{}, errNilQuery
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	params.Cache = e.cacheFor(params)
+	proc, err := core.NewProcessor(e.idx, params)
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
+	return proc.QueryGraph(q)
+}
+
+// AddMatrix indexes a new data source online. The matrix becomes
+// immediately queryable, and the grown engine answers exactly like one
+// rebuilt from scratch over the enlarged database.
+func (e *Engine) AddMatrix(m *Matrix) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.idx.AddMatrix(m); err != nil {
+		return err
+	}
+	e.invalidateCaches()
+	return nil
+}
+
+// RemoveMatrix drops a data source from the engine and its database.
+func (e *Engine) RemoveMatrix(source int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.idx.RemoveMatrix(source); err != nil {
+		return err
+	}
+	e.invalidateCaches()
+	return nil
+}
+
+// QueryTopK answers an IM-GRN query and returns only the k matches with
+// the highest appearance probability (ties break toward smaller source
+// IDs). k <= 0 returns all matches ranked.
+func (e *Engine) QueryTopK(mq *Matrix, params QueryParams, k int) ([]Answer, QueryStats, error) {
+	answers, stats, err := e.Query(mq, params)
+	if err != nil {
+		return nil, stats, err
+	}
+	sort.SliceStable(answers, func(i, j int) bool {
+		if answers[i].Prob != answers[j].Prob {
+			return answers[i].Prob > answers[j].Prob
+		}
+		return answers[i].Source < answers[j].Source
+	})
+	if k > 0 && len(answers) > k {
+		answers = answers[:k]
+	}
+	return answers, stats, nil
+}
+
+// errNilQuery rejects nil query inputs at the public boundary.
+var errNilQuery = errors.New("imgrn: nil query")
+
+// InferGraph reconstructs the probabilistic GRN of a matrix at inference
+// threshold gamma with the paper's randomized measure.
+func (e *Engine) InferGraph(m *Matrix, params QueryParams) (*Graph, error) {
+	if m == nil {
+		return nil, errNilQuery
+	}
+	proc, err := core.NewProcessor(e.idx, params)
+	if err != nil {
+		return nil, err
+	}
+	return proc.InferQueryGraph(m)
+}
+
+// InferGraph reconstructs a probabilistic GRN from a matrix without an
+// engine, using the given scorer and threshold — the standalone inference
+// entry point (Definition 2/3).
+func InferGraph(m *Matrix, sc Scorer, gamma float64) (*Graph, error) {
+	return grn.Infer(m, sc, gamma)
+}
+
+// Scorers for InferGraph. RandomizedScorer is the paper's IM-GRN measure;
+// CorrelationScorer, PartialCorrScorer and MutualInfoScorer are the
+// comparison measures.
+func NewRandomizedScorer(seed uint64, samples int) Scorer {
+	return grn.NewRandomizedScorer(seed, samples)
+}
+
+// NewCorrelationScorer returns the absolute-Pearson relevance-network
+// measure.
+func NewCorrelationScorer() Scorer { return grn.CorrelationScorer{} }
+
+// NewAnalyticScorer returns the fast normal-approximation variant of the
+// IM-GRN measure.
+func NewAnalyticScorer() Scorer { return grn.AnalyticScorer{} }
+
+// NewPartialCorrScorer returns the partial-correlation (pCorr) measure
+// with the given ridge regularization.
+func NewPartialCorrScorer(ridge float64) Scorer {
+	return &grn.PartialCorrScorer{Ridge: ridge}
+}
+
+// NewMutualInfoScorer returns the mutual-information measure with the
+// given histogram bin count (0 = automatic).
+func NewMutualInfoScorer(bins int) Scorer { return &grn.MutualInfoScorer{Bins: bins} }
+
+// VectorScore is a raw pairwise association measure over feature vectors,
+// used with NewCalibratedScorer.
+type VectorScore = grn.VectorScore
+
+// Raw measures for NewCalibratedScorer: absolute Pearson (reproduces the
+// paper's Definition-2 measure), absolute Spearman rank correlation, and
+// histogram mutual information.
+var (
+	AbsPearsonVec = grn.AbsPearsonVec
+	SpearmanVec   = grn.SpearmanVec
+	MutualInfoVec = grn.MutualInfoVec
+)
+
+// NewCalibratedScorer generalizes the paper's randomization idea to any
+// association measure: the returned scorer reports the probability that
+// the observed raw score beats the score against a permuted partner
+// vector (the future-work direction of Section 2.2).
+func NewCalibratedScorer(label string, fn VectorScore, seed uint64, samples int) Scorer {
+	return grn.NewCalibratedScorer(label, fn, seed, samples)
+}
+
+// Clustering (the Example-2 workflow): group data sources by the
+// similarity of their inferred regulatory structures.
+type (
+	// ClusterOptions tunes the GRN distance (scorer, threshold, panel cap).
+	ClusterOptions = cluster.Options
+	// ClusterResult is a clustering assignment with representatives.
+	ClusterResult = cluster.Result
+	// DistanceMatrix is a dense symmetric source-by-source distance
+	// matrix; index it with At(i, j).
+	DistanceMatrix = vecmath.Matrix
+)
+
+// GRNDistanceMatrix computes pairwise regulatory-structure distances
+// between all database matrices.
+func GRNDistanceMatrix(db *Database, opts ClusterOptions) (*DistanceMatrix, error) {
+	return cluster.DistanceMatrix(db, opts)
+}
+
+// GRNDistance is the pairwise form of GRNDistanceMatrix.
+func GRNDistance(a, b *Matrix, opts ClusterOptions) (float64, error) {
+	return cluster.Distance(a, b, opts)
+}
+
+// ClusterKMedoids clusters the distance matrix into k groups with
+// PAM-style k-medoids; the medoid matrices are natural IM-GRN query
+// patterns for their clusters.
+func ClusterKMedoids(dm *DistanceMatrix, k, restarts int, seed uint64) (ClusterResult, error) {
+	return cluster.KMedoids(dm, k, restarts, randgen.New(seed))
+}
+
+// ClusterAgglomerative cuts an average-linkage dendrogram at k clusters.
+func ClusterAgglomerative(dm *DistanceMatrix, k int) (ClusterResult, error) {
+	return cluster.Agglomerative(dm, k)
+}
+
+// ClusterPurity scores a clustering against ground-truth labels.
+func ClusterPurity(assign, labels []int) float64 { return cluster.Purity(assign, labels) }
+
+// MatchSubgraph finds embeddings of query q in data graph g whose
+// appearance probability exceeds alpha — general label-constrained
+// probabilistic subgraph isomorphism over materialized GRNs, supporting
+// duplicate labels and WildcardGene.
+func MatchSubgraph(q, g *Graph, alpha float64) []SubgraphMatch {
+	return subiso.Find(q, g, subiso.Options{Alpha: alpha})
+}

@@ -1,0 +1,204 @@
+package imgrn_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	imgrn "github.com/imgrn/imgrn"
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+// buildPublicFixture assembles a database through the public API only:
+// several matrices sharing a planted co-expression module over genes
+// {0, 1, 2}, plus unrelated noise genes.
+func buildPublicFixture(t *testing.T, n int, seed uint64) *imgrn.Database {
+	t.Helper()
+	rng := randgen.New(seed)
+	db := imgrn.NewDatabase()
+	for src := 0; src < n; src++ {
+		l := 16 + rng.Intn(8)
+		driver := make([]float64, l)
+		for i := range driver {
+			driver[i] = rng.Gaussian(0, 1)
+		}
+		mk := func(coef, noise float64) []float64 {
+			col := make([]float64, l)
+			for i := range col {
+				col[i] = coef*driver[i] + rng.Gaussian(0, noise)
+			}
+			return col
+		}
+		genes := []imgrn.GeneID{0, 1, 2, imgrn.GeneID(10 + src), imgrn.GeneID(100 + src)}
+		cols := [][]float64{
+			mk(1, 0.1),  // gene 0: the driver
+			mk(1, 0.15), // gene 1: tightly co-expressed
+			mk(-1, 0.2), // gene 2: repressed (negative correlation)
+			mk(0, 1),    // unrelated
+			mk(0, 1),    // unrelated
+		}
+		m, err := imgrn.NewMatrix(src, genes, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := buildPublicFixture(t, 25, 1)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Samples: 32, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Database() != db {
+		t.Error("Database accessor broken")
+	}
+	if s := eng.IndexStats(); s.Vectors != 25*5 {
+		t.Errorf("index vectors = %d", s.Vectors)
+	}
+	// Query: the planted module extracted from matrix 3.
+	qm, err := db.BySource(3).SubMatrix(-1, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, stats, err := eng.Query(qm, imgrn.QueryParams{
+		Gamma: 0.6, Alpha: 0.4, Samples: 96, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QueryEdges == 0 {
+		t.Fatal("planted module should infer edges")
+	}
+	// Every matrix carries the module, so many answers are expected.
+	if len(answers) < 20 {
+		t.Errorf("answers = %d, want most of the 25 matrices", len(answers))
+	}
+	for _, a := range answers {
+		if a.Prob <= 0.4 {
+			t.Errorf("answer %d below alpha: %v", a.Source, a.Prob)
+		}
+	}
+}
+
+func TestPublicInferGraphAndMatch(t *testing.T) {
+	db := buildPublicFixture(t, 3, 2)
+	m := db.BySource(0)
+	g, err := imgrn.InferGraph(m, imgrn.NewAnalyticScorer(), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Fatal("planted edges not inferred")
+	}
+	// Match a wildcard pattern: driver gene connected to anything.
+	q := imgrn.NewGraph([]imgrn.GeneID{0, imgrn.WildcardGene})
+	q.SetEdge(0, 1, 0.5)
+	ms := imgrn.MatchSubgraph(q, g, 0.5)
+	if len(ms) < 2 {
+		t.Errorf("wildcard matches = %d, want >= 2", len(ms))
+	}
+}
+
+func TestPublicEngineQueryGraph(t *testing.T) {
+	db := buildPublicFixture(t, 10, 3)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 1, Samples: 16, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := imgrn.NewGraph([]imgrn.GeneID{0, 1})
+	q.SetEdge(0, 1, 0.9)
+	answers, _, err := eng.QueryGraph(q, imgrn.QueryParams{Gamma: 0.6, Alpha: 0.5, Analytic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) < 8 {
+		t.Errorf("hand-drawn biomarker matched %d of 10 matrices", len(answers))
+	}
+}
+
+func TestPublicScorers(t *testing.T) {
+	db := buildPublicFixture(t, 1, 4)
+	m := db.BySource(0)
+	for _, sc := range []imgrn.Scorer{
+		imgrn.NewRandomizedScorer(1, 64),
+		imgrn.NewCorrelationScorer(),
+		imgrn.NewAnalyticScorer(),
+		imgrn.NewPartialCorrScorer(1e-2),
+		imgrn.NewMutualInfoScorer(0),
+	} {
+		if err := sc.Prepare(m); err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		p := sc.Score(m, 0, 1)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Errorf("%s score = %v", sc.Name(), p)
+		}
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	db := buildPublicFixture(t, 4, 5)
+	path := filepath.Join(t.TempDir(), "db.imgrn")
+	if err := imgrn.SaveDatabase(path, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := imgrn.LoadDatabase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Errorf("round trip len = %d", got.Len())
+	}
+}
+
+func TestPublicEngineInferGraph(t *testing.T) {
+	db := buildPublicFixture(t, 2, 6)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 1, Samples: 16, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := eng.InferGraph(db.BySource(1), imgrn.QueryParams{Gamma: 0.7, Samples: 64, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 1) {
+		t.Error("engine inference lost the planted edge")
+	}
+}
+
+func TestPublicCatalog(t *testing.T) {
+	c := imgrn.NewCatalog()
+	id := c.Intern("lexA")
+	if c.Name(id) != "lexA" {
+		t.Error("catalog round trip failed")
+	}
+}
+
+func TestPublicCalibratedScorer(t *testing.T) {
+	db := buildPublicFixture(t, 1, 30)
+	m := db.BySource(0)
+	for _, sc := range []imgrn.Scorer{
+		imgrn.NewCalibratedScorer("cal|r|", imgrn.AbsPearsonVec, 31, 128),
+		imgrn.NewCalibratedScorer("cal-spearman", imgrn.SpearmanVec, 32, 128),
+		imgrn.NewCalibratedScorer("cal-MI", imgrn.MutualInfoVec(0), 33, 128),
+	} {
+		if err := sc.Prepare(m); err != nil {
+			t.Fatalf("%s: %v", sc.Name(), err)
+		}
+		if p := sc.Score(m, 0, 1); p < 0.8 {
+			t.Errorf("%s score of planted pair = %v", sc.Name(), p)
+		}
+	}
+}
+
+func TestOpenRejectsBadOptions(t *testing.T) {
+	db := buildPublicFixture(t, 2, 34)
+	if _, err := imgrn.Open(db, imgrn.IndexOptions{MaxFill: 2}); err == nil {
+		t.Error("bad MaxFill should be rejected")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "sync"
+
+// EdgeProbCache memoizes exact edge-probability estimates across queries.
+// The Monte Carlo estimate of one gene pair is the expensive unit of
+// refinement work, and popular query patterns (biomarkers, cluster
+// representatives) revisit the same pairs; the cache makes repeated
+// queries both faster and mutually consistent.
+//
+// A cache is only valid for one estimator configuration (seed, sample
+// count, analytic/one-sided flags); the Engine keys caches by that
+// configuration. Safe for concurrent use.
+type EdgeProbCache struct {
+	mu       sync.Mutex
+	capacity int
+	m        map[edgeKey]float64
+	// fifo holds insertion order for bounded eviction; a simple FIFO is
+	// enough because entries are immutable and cheap to recompute.
+	fifo []edgeKey
+}
+
+type edgeKey struct {
+	source int
+	a, b   int
+}
+
+// NewEdgeProbCache returns a cache bounded to capacity entries
+// (65536 when capacity <= 0).
+func NewEdgeProbCache(capacity int) *EdgeProbCache {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &EdgeProbCache{capacity: capacity, m: make(map[edgeKey]float64)}
+}
+
+func canonicalKey(source, a, b int) edgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return edgeKey{source: source, a: a, b: b}
+}
+
+// Get returns the cached probability of edge (a, b) in the given source.
+func (c *EdgeProbCache) Get(source, a, b int) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.m[canonicalKey(source, a, b)]
+	return p, ok
+}
+
+// Put stores the probability of edge (a, b), evicting the oldest entry
+// when full.
+func (c *EdgeProbCache) Put(source, a, b int, p float64) {
+	key := canonicalKey(source, a, b)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[key]; exists {
+		c.m[key] = p
+		return
+	}
+	if len(c.m) >= c.capacity {
+		oldest := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.m, oldest)
+	}
+	c.m[key] = p
+	c.fifo = append(c.fifo, key)
+}
+
+// Len returns the number of cached entries.
+func (c *EdgeProbCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

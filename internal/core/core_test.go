@@ -1,0 +1,423 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Gamma: 0, Alpha: 0.99}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	for _, bad := range []Params{
+		{Gamma: 1, Alpha: 0.5},
+		{Gamma: -0.1, Alpha: 0.5},
+		{Gamma: 0.5, Alpha: 1},
+		{Gamma: 0.5, Alpha: -0.2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid params accepted: %+v", bad)
+		}
+	}
+}
+
+func buildFixture(t *testing.T, seed uint64) (*synth.Dataset, *index.Index) {
+	t.Helper()
+	ds, err := synth.GenerateDatabase(synth.DBParams{
+		N: 40, NMin: 8, NMax: 14, LMin: 10, LMax: 16,
+		Dist: synth.Uniform, GenePool: 60, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(ds.DB, index.Options{D: 2, Samples: 32, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, idx
+}
+
+func TestNewProcessorRejectsBadParams(t *testing.T) {
+	_, idx := buildFixture(t, 30)
+	if _, err := NewProcessor(idx, Params{Gamma: 2}); err == nil {
+		t.Error("bad params should be rejected")
+	}
+}
+
+func TestEdgelessQueryMatchesByGeneContainment(t *testing.T) {
+	ds, idx := buildFixture(t, 31)
+	proc, err := NewProcessor(idx, Params{Gamma: 0.5, Alpha: 0.5, Seed: 31, Analytic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build an edgeless query graph over genes of a known matrix.
+	m := ds.DB.Matrix(0)
+	q := grn.NewGraph([]gene.ID{m.Gene(0), m.Gene(1)})
+	answers, st, err := proc.QueryGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundOrigin := false
+	for _, a := range answers {
+		am := ds.DB.BySource(a.Source)
+		for _, g := range q.Genes() {
+			if !am.Has(g) {
+				t.Errorf("answer %d lacks query gene %d", a.Source, g)
+			}
+		}
+		if a.Prob != 1 {
+			t.Errorf("edgeless query Pr = %v, want 1", a.Prob)
+		}
+		if a.Source == m.Source {
+			foundOrigin = true
+		}
+	}
+	if !foundOrigin {
+		t.Error("edgeless query missed the matrix that defines it")
+	}
+	if st.QueryEdges != 0 {
+		t.Errorf("query edges = %d", st.QueryEdges)
+	}
+}
+
+func TestQueryDeterminism(t *testing.T) {
+	ds, idx := buildFixture(t, 32)
+	mq, _, err := ds.ExtractQuery(randgen.New(33), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Gamma: 0.4, Alpha: 0.3, Seed: 17, Samples: 64}
+	run := func() ([]Answer, Stats) {
+		proc, err := NewProcessor(idx, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, st, err := proc.Query(mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ans, st
+	}
+	a1, s1 := run()
+	a2, s2 := run()
+	if len(a1) != len(a2) {
+		t.Fatalf("answer counts differ: %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].Source != a2[i].Source || a1[i].Prob != a2[i].Prob {
+			t.Errorf("answer %d differs across identical runs", i)
+		}
+	}
+	if s1.CandidateGenes != s2.CandidateGenes || s1.IOCost != s2.IOCost {
+		t.Errorf("stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestQueryStatsSanity(t *testing.T) {
+	ds, idx := buildFixture(t, 34)
+	mq, _, err := ds.ExtractQuery(randgen.New(35), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := NewProcessor(idx, Params{Gamma: 0.5, Alpha: 0.3, Seed: 35, Analytic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, st, err := proc.Query(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Answers != len(answers) {
+		t.Errorf("Answers = %d, len = %d", st.Answers, len(answers))
+	}
+	if st.QueryVertices != 4 {
+		t.Errorf("QueryVertices = %d", st.QueryVertices)
+	}
+	if st.Total <= 0 {
+		t.Error("Total duration must be positive")
+	}
+	if st.NodePairsVisited < 0 || st.CandidateGenes < 0 {
+		t.Error("negative counters")
+	}
+	for _, a := range answers {
+		if a.Prob <= 0.3 {
+			t.Errorf("answer %d has Pr %v ≤ α", a.Source, a.Prob)
+		}
+		for _, e := range a.Edges {
+			if e.P <= 0.5 {
+				t.Errorf("answer %d edge prob %v ≤ γ", a.Source, e.P)
+			}
+		}
+	}
+}
+
+func TestBaselineProbAndTriIndex(t *testing.T) {
+	ds, _ := buildFixture(t, 36)
+	base, err := BuildBaseline(ds.DB, Params{Gamma: 0.5, Alpha: 0.5, Seed: 36, Analytic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.DB.Matrix(0)
+	an := grn.AnalyticScorer{}
+	for s := 0; s < m.NumGenes(); s++ {
+		for u := s + 1; u < m.NumGenes(); u++ {
+			p, err := base.Prob(m.Source, s, u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := an.Score(m, s, u); p != want {
+				t.Errorf("Prob(%d,%d) = %v, want %v", s, u, p, want)
+			}
+			// Symmetric lookup.
+			p2, _ := base.Prob(m.Source, u, s)
+			if p != p2 {
+				t.Error("Prob not symmetric")
+			}
+		}
+	}
+	if _, err := base.Prob(999, 0, 1); err == nil {
+		t.Error("unknown source should error")
+	}
+	if _, err := base.Prob(m.Source, 2, 2); err == nil {
+		t.Error("self edge should error")
+	}
+	if base.StorageBytes() == 0 || base.BuildTime() <= 0 {
+		t.Error("baseline build metrics empty")
+	}
+}
+
+func TestTriIndexBijective(t *testing.T) {
+	n := 17
+	seen := make(map[int]bool)
+	for s := 0; s < n; s++ {
+		for u := s + 1; u < n; u++ {
+			k := triIndex(n, s, u)
+			if k < 0 || k >= n*(n-1)/2 {
+				t.Fatalf("triIndex(%d,%d) = %d out of range", s, u, k)
+			}
+			if seen[k] {
+				t.Fatalf("triIndex collision at (%d,%d)", s, u)
+			}
+			seen[k] = true
+			if k != triIndex(n, u, s) {
+				t.Fatal("triIndex not symmetric")
+			}
+		}
+	}
+}
+
+func TestLinearScanStats(t *testing.T) {
+	ds, _ := buildFixture(t, 37)
+	ls, err := NewLinearScan(ds.DB, Params{Gamma: 0.5, Alpha: 0.3, Seed: 37, Analytic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, origin, err := ds.ExtractQuery(randgen.New(38), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, st, err := ls.Query(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Answers != len(answers) {
+		t.Error("stats/answers mismatch")
+	}
+	found := false
+	for _, a := range answers {
+		if a.Source == origin {
+			found = true
+		}
+	}
+	if !found && st.QueryEdges > 0 {
+		t.Error("linear scan missed the origin matrix")
+	}
+}
+
+// TestMonteCarloModeFindsOrigin exercises the full (non-analytic) pipeline:
+// Monte Carlo inference, pivot pruning, Lemma-3 refinement.
+func TestMonteCarloModeFindsOrigin(t *testing.T) {
+	ds, idx := buildFixture(t, 39)
+	proc, err := NewProcessor(idx, Params{Gamma: 0.4, Alpha: 0.2, Seed: 40, Samples: 128, BoundSamples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randgen.New(41)
+	hits, tries := 0, 6
+	for i := 0; i < tries; i++ {
+		mq, origin, err := ds.ExtractQuery(rng, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers, _, err := proc.Query(mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range answers {
+			if a.Source == origin {
+				hits++
+				break
+			}
+		}
+	}
+	if hits == 0 {
+		t.Errorf("Monte Carlo pipeline found the origin in 0 of %d queries", tries)
+	}
+}
+
+// TestOneSidedMode runs the literal Eq.-(4) signed pipeline end to end.
+func TestOneSidedMode(t *testing.T) {
+	ds, idx := buildFixture(t, 42)
+	proc, err := NewProcessor(idx, Params{Gamma: 0.5, Alpha: 0.3, Seed: 43, Analytic: true, OneSided: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := BuildBaseline(ds.DB, Params{Gamma: 0.5, Alpha: 0.3, Seed: 43, Analytic: true, OneSided: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randgen.New(44)
+	for i := 0; i < 5; i++ {
+		mq, _, err := ds.ExtractQuery(rng, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := proc.InferQueryGraph(mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, _, err := proc.QueryGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bAns, _, err := base.QueryGraph(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSources(ans, bAns) {
+			t.Errorf("query %d: one-sided IM-GRN and Baseline disagree", i)
+		}
+	}
+}
+
+func sameSources(a, b []Answer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[int]bool, len(a))
+	for _, x := range a {
+		set[x.Source] = true
+	}
+	for _, x := range b {
+		if !set[x.Source] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDuplicateLabelQueryReturnsNothing(t *testing.T) {
+	ds, idx := buildFixture(t, 95)
+	params := Params{Gamma: 0.3, Alpha: 0.1, Seed: 95, Analytic: true}
+	proc, err := NewProcessor(idx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.DB.Matrix(0)
+	q := grn.NewGraph([]gene.ID{m.Gene(0), m.Gene(0)})
+	q.SetEdge(0, 1, 0.5)
+	ans, _, err := proc.QueryGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 0 {
+		t.Errorf("duplicate-label query matched %d sources", len(ans))
+	}
+	// The exhaustive baseline agrees (injectivity fails for every matrix).
+	base, err := BuildBaseline(ds.DB, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAns, _, err := base.QueryGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bAns) != 0 {
+		t.Errorf("baseline matched duplicate-label query: %d", len(bAns))
+	}
+	ls, err := NewLinearScan(ds.DB, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lAns, _, err := ls.QueryGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lAns) != 0 {
+		t.Errorf("linear scan matched duplicate-label query: %d", len(lAns))
+	}
+}
+
+func TestEmptyQueryGraphMatchesEverything(t *testing.T) {
+	ds, idx := buildFixture(t, 96)
+	proc, err := NewProcessor(idx, Params{Gamma: 0.5, Alpha: 0.5, Seed: 96, Analytic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, _, err := proc.QueryGraph(grn.NewGraph(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != ds.DB.Len() {
+		t.Errorf("empty query matched %d of %d sources", len(ans), ds.DB.Len())
+	}
+}
+
+func TestBaselineQueryFromMatrix(t *testing.T) {
+	ds, idx := buildFixture(t, 97)
+	params := Params{Gamma: 0.4, Alpha: 0.2, Seed: 97, Analytic: true}
+	base, err := BuildBaseline(ds.DB, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := NewProcessor(idx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.Params().Gamma; got != 0.4 {
+		t.Errorf("Params accessor = %v", got)
+	}
+	mq, _, err := ds.ExtractQuery(randgen.New(98), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAns, bSt, err := base.Query(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pAns, _, err := proc.Query(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bSt.IOCost == 0 {
+		t.Error("baseline query charged no I/O")
+	}
+	if !sameSources(bAns, pAns) {
+		t.Errorf("Baseline.Query and Processor.Query disagree: %d vs %d answers",
+			len(bAns), len(pAns))
+	}
+}
+
+func TestParamsErrorMessage(t *testing.T) {
+	err := Params{Gamma: 2, Alpha: 0.5}.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Gamma") {
+		t.Errorf("error = %v, want mention of Gamma", err)
+	}
+}

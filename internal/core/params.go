@@ -1,0 +1,118 @@
+// Package core implements the paper's primary contribution: the
+// IM-GRN_Processing algorithm of Figure 4 — ad-hoc inference of the query
+// GRN, bit-vector and Lemma-6 pruned pairwise traversal of the R*-tree
+// index, pivot and edge-inference pruning of candidate gene pairs, graph
+// existence pruning (Lemma 5), and Monte Carlo refinement of the surviving
+// candidate matrices. The package also provides the two competitors used in
+// Section 6.3: Baseline (offline materialization of all pairwise edge
+// probabilities plus a linear scan) and LinearScan (no index, per-pair
+// pruning only).
+package core
+
+import (
+	"time"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+)
+
+// Params are the per-query IM-GRN parameters of Definition 4 plus
+// estimation knobs.
+type Params struct {
+	// Gamma is the ad-hoc inference threshold γ ∈ [0, 1).
+	Gamma float64
+	// Alpha is the probabilistic matching threshold α ∈ [0, 1).
+	Alpha float64
+	// Samples is the Monte Carlo sample count for exact edge probabilities
+	// (stats.DefaultSamples when 0).
+	Samples int
+	// BoundSamples is the (small) sample count for the Lemma-3 E(Z)
+	// estimate (16 when 0).
+	BoundSamples int
+	// Seed drives the Monte Carlo estimators.
+	Seed uint64
+	// Analytic switches the exact edge probability from Monte Carlo to the
+	// permutation-null normal approximation; used by large benchmark
+	// sweeps.
+	Analytic bool
+	// OneSided selects the literal Eq.-(4) signed reduction, which only
+	// credits positive correlations. The default (false) is the absolute
+	// Pearson form of Definition 2, under which strong negative
+	// correlations are interactions too; all pruning bounds adapt.
+	OneSided bool
+
+	// Cache optionally memoizes exact edge-probability estimates across
+	// queries. The cache must only be shared among queries with identical
+	// estimator settings (Samples, Seed, Analytic, OneSided); the public
+	// Engine manages this keying automatically.
+	Cache *EdgeProbCache
+
+	// Ablation switches (used by the benchmark harness to isolate the
+	// contribution of each pruning layer; leave false in production).
+	DisableIndexPruning bool // skip Lemma 6 node-pair pruning
+	DisablePivotPruning bool // skip leaf-level PPR point-pair pruning
+	DisableSignatures   bool // skip bit-vector gene/source node filters
+	DisableGeneRange    bool // skip gene-ID MBR range tests on node pairs
+}
+
+// Validate reports whether the thresholds are in range.
+func (p Params) Validate() error {
+	if p.Gamma < 0 || p.Gamma >= 1 {
+		return errOutOfRange("Gamma", p.Gamma)
+	}
+	if p.Alpha < 0 || p.Alpha >= 1 {
+		return errOutOfRange("Alpha", p.Alpha)
+	}
+	return nil
+}
+
+type paramErr struct {
+	name string
+	v    float64
+}
+
+func errOutOfRange(name string, v float64) error { return paramErr{name, v} }
+
+func (e paramErr) Error() string {
+	return "core: parameter " + e.name + " out of [0,1)"
+}
+
+// Answer is one IM-GRN result: a database matrix whose inferred GRN
+// contains the query with confidence above α.
+type Answer struct {
+	// Source is the data source ID of the matching matrix M_i.
+	Source int
+	// Prob is the appearance probability Pr{G} of the matched subgraph.
+	Prob float64
+	// Edges are the matched edges in query-vertex indexing, each carrying
+	// its existence probability in the data GRN.
+	Edges []grn.Edge
+	// Genes maps query vertex index -> matched gene ID.
+	Genes []gene.ID
+}
+
+// Stats reports the cost metrics of Section 6 for one query.
+type Stats struct {
+	// Durations of the processing phases.
+	InferQuery time.Duration
+	Traversal  time.Duration
+	Refinement time.Duration
+	Total      time.Duration
+
+	// IOCost is the number of simulated page accesses.
+	IOCost uint64
+
+	// Pruning effectiveness counters.
+	NodePairsVisited  int
+	NodePairsPruned   int // by Lemma 6 or signatures during traversal
+	PointPairsChecked int
+	PointPairsPruned  int // by pivot pruning at the leaf level
+	CandidateGenes    int // distinct candidate gene vectors after pruning
+	CandidateMatrices int
+	MatricesPrunedL5  int // candidate matrices removed by Lemma 5
+	Answers           int
+
+	// Query graph shape.
+	QueryVertices int
+	QueryEdges    int
+}

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/imgrn/imgrn/internal/bitvec"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/rstar"
+	"github.com/imgrn/imgrn/internal/vecmath"
+)
+
+// Processor answers IM-GRN queries over one index (Figure 4).
+type Processor struct {
+	idx    *index.Index
+	params Params
+
+	scorer   *grn.RandomizedScorer
+	analytic grn.AnalyticScorer
+	pruner   *grn.Pruner
+}
+
+// NewProcessor returns a processor for idx with the given parameters.
+func NewProcessor(idx *index.Index, params Params) (*Processor, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	sc := grn.NewRandomizedScorer(params.Seed^0xa5b35705f39c2d17, params.Samples)
+	sc.OneSided = params.OneSided
+	pr := grn.NewPruner(params.Seed^0x94d049bb133111eb, params.BoundSamples)
+	pr.OneSided = params.OneSided
+	return &Processor{
+		idx:      idx,
+		params:   params,
+		scorer:   sc,
+		analytic: grn.AnalyticScorer{OneSided: params.OneSided},
+		pruner:   pr,
+	}, nil
+}
+
+// Params returns the processor's parameters.
+func (p *Processor) Params() Params { return p.params }
+
+// edgeProbVec computes the exact edge existence probability of two
+// standardized vectors under the configured estimator.
+func (p *Processor) edgeProbVec(xa, xb []float64) float64 {
+	if p.params.Analytic {
+		l := len(xa)
+		if l < 2 {
+			return 0
+		}
+		cor := vecmath.Dot(xa, xb)
+		z := math.Sqrt(float64(l - 1))
+		if p.params.OneSided {
+			return stdNormalCDF(cor * z)
+		}
+		return 2*stdNormalCDF(math.Abs(cor)*z) - 1
+	}
+	if p.params.OneSided {
+		return p.scorer.Est.EdgeProbability(xa, xb, p.scorer.Samples)
+	}
+	return p.scorer.Est.AbsEdgeProbability(xa, xb, p.scorer.Samples)
+}
+
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// InferQueryGraph reconstructs the query GRN Q from the query matrix
+// (Fig. 4 line 1), with Lemma-3 edge inference pruning ahead of each
+// Monte Carlo estimate.
+func (p *Processor) InferQueryGraph(mq *gene.Matrix) (*grn.Graph, error) {
+	if p.params.Analytic {
+		return grn.Infer(mq, p.analytic, p.params.Gamma)
+	}
+	g, _, err := grn.InferPruned(mq, p.scorer, p.pruner, p.params.Gamma)
+	return g, err
+}
+
+// pairItem is one priority-queue element: a pair of same-level index nodes
+// that may contain an interacting (query gene, neighbor gene) pair.
+type pairItem struct {
+	key  int // node level; smaller pops first => depth-first descent
+	seq  int // insertion sequence for deterministic tie-breaking
+	a, b *rstar.Node
+}
+
+type pairQueue []pairItem
+
+func (q pairQueue) Len() int { return len(q) }
+func (q pairQueue) Less(i, j int) bool {
+	if q[i].key != q[j].key {
+		return q[i].key < q[j].key
+	}
+	return q[i].seq < q[j].seq
+}
+func (q pairQueue) Swap(i, j int)        { q[i], q[j] = q[j], q[i] }
+func (q *pairQueue) Push(x any)          { *q = append(*q, x.(pairItem)) }
+func (q *pairQueue) Pop() any            { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func (q *pairQueue) PushItem(i pairItem) { heap.Push(q, i) }
+
+// candidatePair is a surviving (source, column, column) gene pair.
+type candidatePair struct {
+	source     int
+	sCol, tCol int
+}
+
+// Query runs the IM-GRN_Processing algorithm for query matrix mq and
+// returns the matching data sources with statistics. Results are sorted by
+// data source ID.
+func (p *Processor) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
+	var st Stats
+	start := time.Now()
+	p.idx.Accountant().ResetStats()
+
+	// Line 1: infer the exact query graph Q.
+	q, err := p.InferQueryGraph(mq)
+	if err != nil {
+		return nil, st, fmt.Errorf("core: inferring query graph: %w", err)
+	}
+	st.InferQuery = time.Since(start)
+	st.QueryVertices = q.NumVertices()
+	st.QueryEdges = q.NumEdges()
+
+	answers, err := p.queryWithGraph(q, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	st.IOCost = p.idx.Accountant().Stats().Accesses
+	st.Total = time.Since(start)
+	st.Answers = len(answers)
+	return answers, st, nil
+}
+
+// QueryGraph answers an IM-GRN query for an already-inferred query GRN,
+// e.g. a hand-drawn biomarker pattern.
+func (p *Processor) QueryGraph(q *grn.Graph) ([]Answer, Stats, error) {
+	var st Stats
+	start := time.Now()
+	p.idx.Accountant().ResetStats()
+	st.QueryVertices = q.NumVertices()
+	st.QueryEdges = q.NumEdges()
+	answers, err := p.queryWithGraph(q, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	st.IOCost = p.idx.Accountant().Stats().Accesses
+	st.Total = time.Since(start)
+	st.Answers = len(answers)
+	return answers, st, nil
+}
+
+func (p *Processor) queryWithGraph(q *grn.Graph, st *Stats) ([]Answer, error) {
+	// Gene labels are unique within every matrix, so a query repeating a
+	// gene can never embed injectively: no matrix can host it.
+	if hasDuplicateGenes(q) {
+		return nil, nil
+	}
+	tStart := time.Now()
+	var sources []int
+	if q.NumEdges() == 0 {
+		// Degenerate query: no edges to traverse for. Every matrix
+		// containing all query genes matches with Pr{G} = 1 (empty
+		// product); resolve via the inverted file plus exact checks.
+		sources = p.sourcesContainingAll(q.Genes())
+		st.Traversal = time.Since(tStart)
+	} else {
+		pairs := p.traverse(q, st)
+		st.Traversal = time.Since(tStart)
+		sources = collectSources(pairs, st)
+	}
+
+	rStart := time.Now()
+	answers := p.refine(q, sources, st)
+	st.Refinement = time.Since(rStart)
+	return answers, nil
+}
+
+// hasDuplicateGenes reports whether two query vertices share a gene label.
+func hasDuplicateGenes(q *grn.Graph) bool {
+	seen := make(map[gene.ID]bool, q.NumVertices())
+	for _, g := range q.Genes() {
+		if seen[g] {
+			return true
+		}
+		seen[g] = true
+	}
+	return false
+}
+
+// sourcesContainingAll returns data sources whose matrices contain every
+// query gene, using IF signatures as a pre-filter.
+func (p *Processor) sourcesContainingAll(genes []gene.ID) []int {
+	if len(genes) == 0 {
+		// The empty query embeds trivially everywhere with Pr{G} = 1.
+		out := make([]int, 0, p.idx.DB().Len())
+		for _, m := range p.idx.DB().Matrices() {
+			out = append(out, m.Source)
+		}
+		return out
+	}
+	b := p.idx.Bits()
+	sig := bitvec.New(b)
+	for i, g := range genes {
+		s := p.idx.Inverted().Sources(g)
+		if i == 0 {
+			sig.OrInPlace(s)
+			continue
+		}
+		// Intersect progressively: a source must appear in every IF entry.
+		next := bitvec.New(b)
+		for bit := 0; bit < b; bit++ {
+			if sig.Test(bit) && s.Test(bit) {
+				next.Set(bit)
+			}
+		}
+		sig = next
+	}
+	var out []int
+	for _, m := range p.idx.DB().Matrices() {
+		if !sig.Test(bitvec.HashSource(m.Source, b)) {
+			continue
+		}
+		ok := true
+		for _, g := range genes {
+			if !m.Has(g) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, m.Source)
+		}
+	}
+	return out
+}
+
+// traverse implements lines 2–27 of Figure 4: the pairwise priority-queue
+// descent of the index for the highest-degree query gene and its neighbors.
+func (p *Processor) traverse(q *grn.Graph, st *Stats) []candidatePair {
+	b := p.idx.Bits()
+	gs := q.MaxDegreeVertex()
+	gsGene := q.Gene(gs)
+	neighborGenes := make(map[gene.ID]bool)
+	qVfS := bitvec.New(b)
+	qVfS.Set(bitvec.HashGene(gsGene, b))
+	qVfT := bitvec.New(b)
+	qVdS := p.idx.Inverted().Sources(gsGene).Clone()
+	qVdT := bitvec.New(b)
+	for _, t := range q.Neighbors(gs) {
+		tg := q.Gene(t)
+		neighborGenes[tg] = true
+		qVfT.Set(bitvec.HashGene(tg, b))
+		qVdT.OrInPlace(p.idx.Inverted().Sources(tg))
+	}
+
+	tree := p.idx.Tree()
+	root := tree.Root()
+	pq := make(pairQueue, 0, 64)
+	heap.Init(&pq)
+	seq := 0
+	push := func(key int, a, b *rstar.Node) {
+		pq.PushItem(pairItem{key: key, seq: seq, a: a, b: b})
+		seq++
+	}
+
+	gamma := p.params.Gamma
+	d := p.idx.D()
+	geneDim := 2 * d
+	gsF := float64(gsGene)
+	neighborF := make([]float64, 0, len(neighborGenes))
+	for g := range neighborGenes {
+		neighborF = append(neighborF, float64(g))
+	}
+	sort.Float64s(neighborF)
+	// anyNeighborIn reports whether some neighbor gene ID lies within the
+	// node's gene-ID MBR range — exact, since gene IDs are stored as an
+	// index dimension (Section 5.1's rationale for the (2d+1)-th axis).
+	anyNeighborIn := func(mbr rstar.Rect) bool {
+		lo, hi := mbr.Min[geneDim], mbr.Max[geneDim]
+		i := sort.SearchFloat64s(neighborF, lo)
+		return i < len(neighborF) && neighborF[i] <= hi
+	}
+	sideContainsS := func(mbr rstar.Rect) bool {
+		return mbr.Min[geneDim] <= gsF && gsF <= mbr.Max[geneDim]
+	}
+	var out []candidatePair
+
+	// Seed with the root paired against itself; the loop below performs
+	// the lines 9–13 pairwise entry expansion uniformly.
+	p.idx.TouchNode(root)
+	if p.params.DisableSignatures || p.rootAdmissible(root, qVfS, qVfT, qVdS, qVdT) {
+		push(root.Level(), root, root)
+	}
+
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(pairItem)
+		st.NodePairsVisited++
+		ea, eb := it.a, it.b
+		if ea.IsLeaf() {
+			// Lines 16–21: pairwise point checks.
+			p.idx.TouchNode(ea)
+			if eb != ea {
+				p.idx.TouchNode(eb)
+			}
+			for i := 0; i < ea.NumEntries(); i++ {
+				ia := ea.Item(i)
+				ga := gene.ID(int32(ia.Point[len(ia.Point)-1]))
+				if ga != gsGene {
+					continue
+				}
+				srcA, colA := index.UnpackRef(ia.Ref)
+				for j := 0; j < eb.NumEntries(); j++ {
+					ib := eb.Item(j)
+					gb := gene.ID(int32(ib.Point[len(ib.Point)-1]))
+					if !neighborGenes[gb] {
+						continue
+					}
+					srcB, colB := index.UnpackRef(ib.Ref)
+					if srcA != srcB {
+						continue // line 19: data source IDs must agree
+					}
+					st.PointPairsChecked++
+					// Line 20: pivot-based pruning on embedded points.
+					if !p.params.DisablePivotPruning &&
+						index.PointUpperBound(ia.Point, ib.Point, d, p.params.OneSided) <= gamma {
+						st.PointPairsPruned++
+						continue
+					}
+					out = append(out, candidatePair{source: srcA, sCol: colA, tCol: colB})
+				}
+			}
+			continue
+		}
+		// Lines 22–27: expand child pairs.
+		p.idx.TouchNode(ea)
+		if eb != ea {
+			p.idx.TouchNode(eb)
+		}
+		for i := 0; i < ea.NumEntries(); i++ {
+			ca := ea.Child(i)
+			// Gene-ID range test: the s-side subtree must contain g_s.
+			if !p.params.DisableGeneRange && !sideContainsS(ca.MBR()) {
+				st.NodePairsPruned += eb.NumEntries()
+				continue
+			}
+			fa, da := p.idx.NodeSignature(ca)
+			if !p.params.DisableSignatures && !qVfS.Intersects(fa) {
+				st.NodePairsPruned += eb.NumEntries()
+				continue
+			}
+			for j := 0; j < eb.NumEntries(); j++ {
+				cb := eb.Child(j)
+				// Gene-ID range test on the t side.
+				if !p.params.DisableGeneRange && !anyNeighborIn(cb.MBR()) {
+					st.NodePairsPruned++
+					continue
+				}
+				fb, db := p.idx.NodeSignature(cb)
+				// Line 25: gene-name and data-source signature tests.
+				if !p.params.DisableSignatures &&
+					(!qVfT.Intersects(fb) || !qVdS.IntersectsAll(da, qVdT, db)) {
+					st.NodePairsPruned++
+					continue
+				}
+				// Line 25 (cont.): Lemma 6 index pruning.
+				if !p.params.DisableIndexPruning &&
+					index.IndexPrunable(ca.MBR(), cb.MBR(), d, gamma, p.params.OneSided) {
+					st.NodePairsPruned++
+					continue
+				}
+				push(it.key-1, ca, cb)
+			}
+		}
+	}
+	return out
+}
+
+// rootAdmissible mirrors the line 9–13 admission test on the root itself.
+func (p *Processor) rootAdmissible(root *rstar.Node, qVfS, qVfT, qVdS, qVdT *bitvec.Vector) bool {
+	f, d := p.idx.NodeSignature(root)
+	return qVfS.Intersects(f) && qVfT.Intersects(f) && qVdS.IntersectsAll(d, qVdT)
+}
+
+// collectSources reduces candidate pairs to a sorted distinct source list
+// and fills the candidate counters of st.
+func collectSources(pairs []candidatePair, st *Stats) []int {
+	sourceSet := make(map[int]bool)
+	geneSet := make(map[[2]int]bool) // (source, col) distinct vectors
+	for _, c := range pairs {
+		sourceSet[c.source] = true
+		geneSet[[2]int{c.source, c.sCol}] = true
+		geneSet[[2]int{c.source, c.tCol}] = true
+	}
+	st.CandidateGenes = len(geneSet)
+	st.CandidateMatrices = len(sourceSet)
+	out := make([]int, 0, len(sourceSet))
+	for s := range sourceSet {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// refine implements lines 28–30: Lemma-5 graph existence pruning on each
+// candidate matrix followed by exact verification of Definition 4.
+func (p *Processor) refine(q *grn.Graph, sources []int, st *Stats) []Answer {
+	var answers []Answer
+	qEdges := q.Edges()
+	gamma, alpha := p.params.Gamma, p.params.Alpha
+	for _, src := range sources {
+		m := p.idx.DB().BySource(src)
+		if m == nil {
+			continue
+		}
+		// Map query vertices to columns by gene ID (labels are unique
+		// within a matrix, so the embedding is forced).
+		cols := make([]int, q.NumVertices())
+		ok := true
+		for v := 0; v < q.NumVertices(); v++ {
+			c := m.IndexOf(q.Gene(v))
+			if c < 0 {
+				ok = false
+				break
+			}
+			cols[v] = c
+		}
+		if !ok {
+			continue
+		}
+		// Lemma 5: prune with the product of pivot-based edge upper bounds.
+		if emb := p.idx.Embedding(src); emb != nil && len(qEdges) > 0 {
+			ub := 1.0
+			for _, e := range qEdges {
+				ub *= emb.UpperBound(cols[e.S], cols[e.T], p.params.OneSided)
+				if ub <= alpha {
+					break
+				}
+			}
+			if grn.PruneByGraphExistence(ub, alpha) {
+				st.MatricesPrunedL5++
+				continue
+			}
+		}
+		// Exact verification: infer only the query-mapped edges, reading
+		// the standardized vectors from the paged heap file (charged I/O).
+		prob := 1.0
+		edges := make([]grn.Edge, 0, len(qEdges))
+		matched := true
+		var bufA, bufB []float64
+		for _, e := range qEdges {
+			a, bcol := cols[e.S], cols[e.T]
+			if !m.Informative(a) || !m.Informative(bcol) {
+				matched = false
+				break
+			}
+			var err error
+			if bufA, err = p.idx.FetchStdColumn(src, a, bufA); err != nil {
+				matched = false
+				break
+			}
+			if bufB, err = p.idx.FetchStdColumn(src, bcol, bufB); err != nil {
+				matched = false
+				break
+			}
+			// Lemma 3 edge inference pruning before the exact estimate.
+			if !p.params.Analytic && p.pruner.UpperBound(bufA, bufB) <= gamma {
+				matched = false
+				break
+			}
+			ep, cached := 0.0, false
+			if p.params.Cache != nil {
+				ep, cached = p.params.Cache.Get(src, a, bcol)
+			}
+			if !cached {
+				ep = p.edgeProbVec(bufA, bufB)
+				if p.params.Cache != nil {
+					p.params.Cache.Put(src, a, bcol, ep)
+				}
+			}
+			if ep <= gamma {
+				matched = false
+				break
+			}
+			prob *= ep
+			if prob <= alpha {
+				matched = false
+				break
+			}
+			edges = append(edges, grn.Edge{S: e.S, T: e.T, P: ep})
+		}
+		if !matched {
+			continue
+		}
+		genes := make([]gene.ID, q.NumVertices())
+		copy(genes, q.Genes())
+		answers = append(answers, Answer{Source: src, Prob: prob, Edges: edges, Genes: genes})
+	}
+	return answers
+}

@@ -1,0 +1,108 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// TestEndToEndSmoke builds a small database, indexes it, and checks that
+// queries extracted from database matrices are answered and that the
+// indexed processor agrees with the exhaustive Baseline when both use the
+// deterministic analytic estimator.
+func TestEndToEndSmoke(t *testing.T) {
+	ds, err := synth.GenerateDatabase(synth.DBParams{
+		N: 60, NMin: 10, NMax: 20, LMin: 12, LMax: 20,
+		Dist: synth.Uniform, GenePool: 60, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	idx, err := index.Build(ds.DB, index.Options{D: 2, Samples: 48, Seed: 7})
+	if err != nil {
+		t.Fatalf("index: %v", err)
+	}
+	params := core.Params{Gamma: 0.5, Alpha: 0.3, Seed: 7, Analytic: true}
+	proc, err := core.NewProcessor(idx, params)
+	if err != nil {
+		t.Fatalf("processor: %v", err)
+	}
+	base, err := core.BuildBaseline(ds.DB, params)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	ls, err := core.NewLinearScan(ds.DB, params)
+	if err != nil {
+		t.Fatalf("linearscan: %v", err)
+	}
+
+	rng := randgen.New(99)
+	found := 0
+	for qi := 0; qi < 8; qi++ {
+		mq, origin, err := ds.ExtractQuery(rng, 4)
+		if err != nil {
+			t.Fatalf("extract query %d: %v", qi, err)
+		}
+		// Compare on the same inferred query graph so all three engines
+		// decide over identical edges.
+		q, err := proc.InferQueryGraph(mq)
+		if err != nil {
+			t.Fatalf("infer query: %v", err)
+		}
+		ans, st, err := proc.QueryGraph(q)
+		if err != nil {
+			t.Fatalf("imgrn query: %v", err)
+		}
+		bAns, _, err := base.QueryGraph(q)
+		if err != nil {
+			t.Fatalf("baseline query: %v", err)
+		}
+		lAns, _, err := ls.QueryGraph(q)
+		if err != nil {
+			t.Fatalf("linearscan query: %v", err)
+		}
+		got := sourcesOf(ans)
+		want := sourcesOf(bAns)
+		if !sameSet(got, want) {
+			t.Errorf("query %d (origin %d, %d edges): IM-GRN answers %v != Baseline %v",
+				qi, origin, q.NumEdges(), got, want)
+		}
+		if !sameSet(sourcesOf(lAns), want) {
+			t.Errorf("query %d: LinearScan answers %v != Baseline %v", qi, sourcesOf(lAns), want)
+		}
+		for _, a := range ans {
+			if a.Source == origin {
+				found++
+			}
+		}
+		if st.IOCost == 0 && q.NumEdges() > 0 {
+			t.Errorf("query %d: expected nonzero I/O cost", qi)
+		}
+	}
+	if found == 0 {
+		t.Errorf("no query matched its origin matrix; inference or matching is broken")
+	}
+}
+
+func sourcesOf(ans []core.Answer) map[int]bool {
+	out := make(map[int]bool, len(ans))
+	for _, a := range ans {
+		out[a.Source] = true
+	}
+	return out
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

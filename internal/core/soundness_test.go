@@ -1,0 +1,147 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// TestSoundnessStress is the strongest correctness evidence for the core
+// contribution: across many random datasets, thresholds, and query shapes,
+// the indexed processor's answer set must equal the exhaustive Baseline's
+// for the same (deterministic) estimator — i.e., all pruning is lossless
+// and the traversal misses nothing.
+func TestSoundnessStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test; skipped in -short mode")
+	}
+	rng := randgen.New(0xbeefcafe)
+	datasets := 8
+	queriesPer := 4
+	for di := 0; di < datasets; di++ {
+		seed := rng.Uint64()
+		ds, err := synth.GenerateDatabase(synth.DBParams{
+			N:    30 + rng.Intn(60),
+			NMin: 4 + rng.Intn(4), NMax: 10 + rng.Intn(10),
+			LMin: 8 + rng.Intn(4), LMax: 14 + rng.Intn(8),
+			Dist:     synth.Distribution(rng.Intn(2)),
+			GenePool: 30 + rng.Intn(60),
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatalf("dataset %d: %v", di, err)
+		}
+		d := 1 + rng.Intn(3)
+		idx, err := index.Build(ds.DB, index.Options{
+			D: d, Samples: 16 + rng.Intn(32), Seed: seed,
+			MaxFill: 4 + rng.Intn(12),
+		})
+		if err != nil {
+			t.Fatalf("dataset %d index: %v", di, err)
+		}
+		for qi := 0; qi < queriesPer; qi++ {
+			params := core.Params{
+				Gamma:    []float64{0.2, 0.5, 0.8, 0.9}[rng.Intn(4)],
+				Alpha:    []float64{0.1, 0.3, 0.5, 0.8}[rng.Intn(4)],
+				Seed:     rng.Uint64(),
+				Analytic: true, // deterministic: both engines score identically
+				OneSided: rng.Intn(2) == 0,
+			}
+			proc, err := core.NewProcessor(idx, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := core.BuildBaseline(ds.DB, params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nq := 2 + rng.Intn(4)
+			mq, _, err := ds.ExtractQuery(rng, nq)
+			if err != nil {
+				t.Fatalf("dataset %d query %d: %v", di, qi, err)
+			}
+			q, err := proc.InferQueryGraph(mq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, _, err := proc.QueryGraph(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bAns, _, err := base.QueryGraph(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := sourcesOf(ans)
+			want := sourcesOf(bAns)
+			if !sameSet(got, want) {
+				t.Errorf("dataset %d query %d (γ=%g α=%g d=%d oneSided=%v, %d query edges): IM-GRN %v != Baseline %v",
+					di, qi, params.Gamma, params.Alpha, d, params.OneSided, q.NumEdges(), got, want)
+			}
+			// Probabilities of shared answers must agree exactly under the
+			// deterministic estimator.
+			bBySource := make(map[int]float64, len(bAns))
+			for _, a := range bAns {
+				bBySource[a.Source] = a.Prob
+			}
+			for _, a := range ans {
+				if bp, ok := bBySource[a.Source]; ok && bp != a.Prob {
+					t.Errorf("dataset %d query %d source %d: Pr %v != baseline %v",
+						di, qi, a.Source, a.Prob, bp)
+				}
+			}
+		}
+	}
+}
+
+// TestDisconnectedQueryGraphSoundness: the traversal seeds from a single
+// high-degree vertex; a query with several components must still verify
+// every component's edges during refinement.
+func TestDisconnectedQueryGraphSoundness(t *testing.T) {
+	ds, err := synth.GenerateDatabase(synth.DBParams{
+		N: 40, NMin: 8, NMax: 14, LMin: 10, LMax: 16,
+		Dist: synth.Uniform, GenePool: 60, Seed: 90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(ds.DB, index.Options{D: 2, Samples: 32, Seed: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Gamma: 0.3, Alpha: 0.1, Seed: 91, Analytic: true}
+	proc, err := core.NewProcessor(idx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.BuildBaseline(ds.DB, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a 2-component query over genes of one matrix: edges (0,1) and
+	// (2,3), probabilities from the analytic scorer so both engines agree.
+	m := ds.DB.Matrix(0)
+	if m.NumGenes() < 4 {
+		t.Skip("fixture matrix too narrow")
+	}
+	q := grn.NewGraph([]gene.ID{m.Gene(0), m.Gene(1), m.Gene(2), m.Gene(3)})
+	q.SetEdge(0, 1, 0.5)
+	q.SetEdge(2, 3, 0.5)
+	ans, _, err := proc.QueryGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bAns, _, err := base.QueryGraph(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameSet(sourcesOf(ans), sourcesOf(bAns)) {
+		t.Errorf("disconnected query: IM-GRN %v != Baseline %v",
+			sourcesOf(ans), sourcesOf(bAns))
+	}
+}

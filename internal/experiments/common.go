@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// buildSynthetic generates one synthetic dataset (Uni or Gau) under p.
+func buildSynthetic(dist synth.Distribution, p Params) (*synth.Dataset, error) {
+	return synth.GenerateDatabase(synth.DBParams{
+		N:    p.N,
+		NMin: p.NMin, NMax: p.NMax,
+		LMin: p.LMin, LMax: p.LMax,
+		Dist:     dist,
+		GenePool: p.GenePool,
+		Seed:     p.Seed ^ uint64(dist+1)*0x9e3779b97f4a7c15,
+	})
+}
+
+// buildReal carves the "Real" dataset out of the three organism stand-ins.
+func buildReal(p Params) (*synth.Dataset, error) {
+	genesPerOrganism := 4 * p.NMax
+	return synth.RealDataset(p.N, p.NMin, p.NMax, p.LMin, p.LMax,
+		genesPerOrganism, p.ROCSampleCap(), p.Seed)
+}
+
+// buildIndex constructs the IM-GRN index over ds with p's knobs.
+func buildIndex(ds *synth.Dataset, p Params) (*index.Index, error) {
+	return index.Build(ds.DB, index.Options{
+		D:           p.D,
+		Samples:     p.EmbedSamples,
+		Seed:        p.Seed,
+		Bits:        1024,
+		BufferPages: 1024,
+	})
+}
+
+// coreParams converts experiment params to query-processor params.
+func coreParams(p Params) core.Params {
+	return core.Params{
+		Gamma:    p.Gamma,
+		Alpha:    p.Alpha,
+		Samples:  p.Samples,
+		Seed:     p.Seed ^ 0xc2b2ae3d27d4eb4f,
+		Analytic: p.Analytic,
+	}
+}
+
+// workload extracts the query matrices of one measurement (Section 6.1:
+// random connected sub-matrices of database matrices).
+func workload(ds *synth.Dataset, p Params, nq int) ([]*gene.Matrix, error) {
+	rng := randgen.New(p.Seed ^ 0x8d2fa3c1e5b79604)
+	queries := make([]*gene.Matrix, 0, p.Queries)
+	for len(queries) < p.Queries {
+		q, _, err := ds.ExtractQuery(rng, nq)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: extracting query: %w", err)
+		}
+		queries = append(queries, q)
+	}
+	return queries, nil
+}
+
+// Aggregate averages the Section-6 metrics over a query workload.
+type Aggregate struct {
+	CPUSeconds float64 // traversal + refinement, averaged
+	IOCost     float64 // page accesses, averaged
+	Candidates float64 // candidate genes after pruning, averaged
+	Answers    float64
+	Queries    int
+}
+
+func (a Aggregate) String() string {
+	return fmt.Sprintf("cpu=%.6fs io=%.1f cand=%.2f ans=%.2f (over %d queries)",
+		a.CPUSeconds, a.IOCost, a.Candidates, a.Answers, a.Queries)
+}
+
+// queryEngine abstracts the three methods (IM-GRN, Baseline, LinearScan).
+type queryEngine interface {
+	Query(mq *gene.Matrix) ([]core.Answer, core.Stats, error)
+}
+
+// runWorkload executes all queries on one engine and averages the metrics.
+func runWorkload(eng queryEngine, queries []*gene.Matrix) (Aggregate, error) {
+	var agg Aggregate
+	for _, q := range queries {
+		_, st, err := eng.Query(q)
+		if err != nil {
+			return agg, err
+		}
+		agg.CPUSeconds += (st.Traversal + st.Refinement).Seconds()
+		agg.IOCost += float64(st.IOCost)
+		agg.Candidates += float64(st.CandidateGenes)
+		agg.Answers += float64(st.Answers)
+		agg.Queries++
+	}
+	if agg.Queries > 0 {
+		n := float64(agg.Queries)
+		agg.CPUSeconds /= n
+		agg.IOCost /= n
+		agg.Candidates /= n
+		agg.Answers /= n
+	}
+	return agg, nil
+}
+
+// measureIMGRN builds (dataset, index, processor), runs the workload and
+// returns the aggregate plus the build duration (for Figure 13).
+func measureIMGRN(dist synth.Distribution, p Params) (Aggregate, time.Duration, error) {
+	ds, err := buildSynthetic(dist, p)
+	if err != nil {
+		return Aggregate{}, 0, err
+	}
+	idx, err := buildIndex(ds, p)
+	if err != nil {
+		return Aggregate{}, 0, err
+	}
+	proc, err := core.NewProcessor(idx, coreParams(p))
+	if err != nil {
+		return Aggregate{}, 0, err
+	}
+	queries, err := workload(ds, p, p.NQ)
+	if err != nil {
+		return Aggregate{}, 0, err
+	}
+	agg, err := runWorkload(proc, queries)
+	return agg, idx.Stats().Elapsed, err
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns CI-minimal parameters so experiment plumbing can be tested
+// end to end in well under a second per figure.
+func tiny() Params {
+	p := Fast()
+	p.N = 60
+	p.NMin, p.NMax = 6, 10
+	p.LMin, p.LMax = 8, 10
+	p.GenePool = 80
+	p.Queries = 2
+	p.Samples = 24
+	p.EmbedSamples = 16
+	p.Analytic = true
+	return p
+}
+
+func TestByMode(t *testing.T) {
+	if p, err := ByMode(""); err != nil || p.Mode != "fast" {
+		t.Errorf("default mode: %+v, %v", p, err)
+	}
+	if p, err := ByMode("full"); err != nil || p.N != 10000 {
+		t.Errorf("full mode: %+v, %v", p, err)
+	}
+	if _, err := ByMode("warp"); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestNamesOrdered(t *testing.T) {
+	names := Names()
+	if len(names) != len(Registry) {
+		t.Fatalf("Names() returned %d of %d", len(names), len(Registry))
+	}
+	if names[0] != "fig5a" {
+		t.Errorf("ordering wrong: %v", names)
+	}
+	// Paper figures come first (fig15 last among them), extensions after.
+	figPos := map[string]int{}
+	for i, n := range names {
+		figPos[n] = i
+	}
+	if figPos["fig15"] > figPos["ablation"] || figPos["fig15"] > figPos["measures"] {
+		t.Errorf("extensions should sort after paper figures: %v", names)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("fig99", tiny(), &sb); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFigureFormat(t *testing.T) {
+	f := Figure{
+		ID: "x", Title: "demo", XLabel: "n", YLabel: "seconds",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 1.5}},
+			{Name: "b", X: []float64{2}, Y: []float64{9}},
+		},
+	}
+	out := f.Format()
+	for _, want := range []string{"== x: demo ==", "n", "a", "b", "0.5", "9", "seconds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted figure missing %q:\n%s", want, out)
+		}
+	}
+	// Series b has no value at x=1: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing placeholder for absent value")
+	}
+	empty := Figure{ID: "y", Title: "none"}
+	if !strings.Contains(empty.Format(), "(no data)") {
+		t.Error("empty figure should render a placeholder")
+	}
+}
+
+func TestSweepFigures(t *testing.T) {
+	p := tiny()
+	figs, err := Fig7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("fig7 produced %d figures, want 3 (CPU, IO, candidates)", len(figs))
+	}
+	for _, f := range figs {
+		if len(f.Series) != 2 {
+			t.Errorf("%s has %d series, want Uni+Gau", f.ID, len(f.Series))
+		}
+		for _, s := range f.Series {
+			if len(s.X) != len(GammaSweep) || len(s.Y) != len(s.X) {
+				t.Errorf("%s/%s has %d points", f.ID, s.Name, len(s.X))
+			}
+			for _, y := range s.Y {
+				if y < 0 {
+					t.Errorf("%s/%s has negative metric %v", f.ID, s.Name, y)
+				}
+			}
+		}
+	}
+}
+
+func TestFig13Shapes(t *testing.T) {
+	p := tiny()
+	figs, err := Fig13(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("fig13 produced %d figures", len(figs))
+	}
+	for _, f := range figs {
+		for _, s := range f.Series {
+			for _, y := range s.Y {
+				if y <= 0 {
+					t.Errorf("%s: non-positive build time %v", f.ID, y)
+				}
+			}
+		}
+	}
+}
+
+func TestROCFigure(t *testing.T) {
+	p := tiny()
+	figs, err := Fig5a(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("fig5a produced %d figures, want ROC + supplement", len(figs))
+	}
+	roc := figs[0]
+	if len(roc.Series) != 4 {
+		t.Errorf("ROC series = %d, want 4", len(roc.Series))
+	}
+	for _, s := range roc.Series {
+		if !strings.Contains(s.Name, "AUC=") {
+			t.Errorf("series %q missing AUC annotation", s.Name)
+		}
+		for i := range s.X {
+			if s.X[i] < 0 || s.X[i] > 1 || s.Y[i] < 0 || s.Y[i] > 1 {
+				t.Errorf("ROC point out of unit square: (%v, %v)", s.X[i], s.Y[i])
+			}
+		}
+	}
+}
+
+func TestRunWritesFormattedOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("fig8", tiny(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "fig8a") || !strings.Contains(out, "I/O cost") {
+		t.Errorf("output incomplete:\n%s", out)
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	a := Aggregate{CPUSeconds: 0.5, IOCost: 10, Candidates: 3, Answers: 1, Queries: 2}
+	if s := a.String(); !strings.Contains(s, "io=10.0") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if s := Fast().String(); !strings.Contains(s, "mode=fast") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// TestAllExperimentsMicro regression-covers every registered experiment at
+// micro scale: each must produce at least one non-empty figure.
+func TestAllExperimentsMicro(t *testing.T) {
+	p := Micro()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			figs, err := Registry[name](p)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(figs) == 0 {
+				t.Fatalf("%s produced no figures", name)
+			}
+			for _, f := range figs {
+				if len(f.Series) == 0 {
+					t.Errorf("%s/%s has no series", name, f.ID)
+				}
+				for _, s := range f.Series {
+					if len(s.X) == 0 || len(s.X) != len(s.Y) {
+						t.Errorf("%s/%s/%s malformed series", name, f.ID, s.Name)
+					}
+				}
+				if out := f.Format(); !strings.Contains(out, f.ID) {
+					t.Errorf("%s: Format missing figure ID", name)
+				}
+			}
+		})
+	}
+}
+
+func TestRunAllMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole registry; skipped in -short mode")
+	}
+	var sb strings.Builder
+	if err := RunAll(Micro(), &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, "### "+name) {
+			t.Errorf("RunAll output missing %s", name)
+		}
+	}
+}

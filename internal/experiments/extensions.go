@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// Ablation measures the contribution of each pruning layer of the Figure-4
+// traversal: full pruning, Lemma 6 disabled, PPR point pruning disabled,
+// and bit-vector signatures disabled. It extends the paper's evaluation
+// (DESIGN.md §5); the γ sweep shows where the geometric prunings begin to
+// matter.
+func Ablation(p Params) ([]Figure, error) {
+	ds, err := buildSynthetic(synth.Uniform, p)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := buildIndex(ds, p)
+	if err != nil {
+		return nil, err
+	}
+	queries, err := workload(ds, p, p.NQ)
+	if err != nil {
+		return nil, err
+	}
+	type variant struct {
+		name   string
+		mutate func(*core.Params)
+	}
+	variants := []variant{
+		{"full", func(*core.Params) {}},
+		{"noLemma6", func(cp *core.Params) { cp.DisableIndexPruning = true }},
+		{"noPPR", func(cp *core.Params) { cp.DisablePivotPruning = true }},
+		{"noSignatures", func(cp *core.Params) { cp.DisableSignatures = true }},
+		{"noGeneRange", func(cp *core.Params) { cp.DisableGeneRange = true }},
+	}
+	gammas := GammaSweep
+	names := make([]string, len(variants))
+	aggs := make([][]Aggregate, len(variants))
+	for vi, v := range variants {
+		names[vi] = v.name
+		aggs[vi] = make([]Aggregate, len(gammas))
+		for gi, gamma := range gammas {
+			cp := coreParams(p)
+			cp.Gamma = gamma
+			v.mutate(&cp)
+			proc, err := core.NewProcessor(idx, cp)
+			if err != nil {
+				return nil, err
+			}
+			agg, err := runWorkload(proc, queries)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ablation %s γ=%g: %w", v.name, gamma, err)
+			}
+			aggs[vi][gi] = agg
+		}
+	}
+	return threeFigures("ablation", "Pruning-layer ablation vs γ (Uni)", "γ", names, gammas, aggs), nil
+}
+
+// Latency profiles the tail behaviour of the three engines (IM-GRN,
+// Baseline, LinearScan) on one workload: mean, median and P95 per-query
+// CPU time. The paper reports means only; tails matter for an online
+// service, and the indexed method's advantage is largest there (the
+// Baseline's cost is workload-independent, so its tail is its mean, while
+// IM-GRN's tail reflects occasional candidate-heavy queries).
+func Latency(p Params) ([]Figure, error) {
+	ds, err := buildSynthetic(synth.Uniform, p)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := buildIndex(ds, p)
+	if err != nil {
+		return nil, err
+	}
+	cp := coreParams(p)
+	proc, err := core.NewProcessor(idx, cp)
+	if err != nil {
+		return nil, err
+	}
+	bp := cp
+	bp.Analytic = true
+	base, err := core.BuildBaseline(ds.DB, bp)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := core.NewLinearScan(ds.DB, cp)
+	if err != nil {
+		return nil, err
+	}
+	// A larger workload makes percentiles meaningful.
+	wp := p
+	if wp.Queries < 20 {
+		wp.Queries = 20
+	}
+	if p.Mode == "micro" {
+		wp.Queries = 5
+	}
+	queries, err := workload(ds, wp, p.NQ)
+	if err != nil {
+		return nil, err
+	}
+	engines := []struct {
+		name string
+		eng  queryEngine
+	}{{"IM-GRN", proc}, {"Baseline", base}, {"LinearScan", ls}}
+	fig := Figure{
+		ID:     "latency",
+		Title:  fmt.Sprintf("Per-query CPU latency distribution (Uni, N=%d; x: 0=mean 1=P50 2=P95)", p.N),
+		XLabel: "statistic",
+		YLabel: "seconds",
+	}
+	for _, e := range engines {
+		var samples []float64
+		for _, q := range queries {
+			_, st, err := e.eng.Query(q)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: latency %s: %w", e.name, err)
+			}
+			samples = append(samples, (st.Traversal + st.Refinement).Seconds())
+		}
+		sort.Float64s(samples)
+		mean := 0.0
+		for _, v := range samples {
+			mean += v
+		}
+		mean /= float64(len(samples))
+		fig.Series = append(fig.Series, Series{
+			Name: e.name,
+			X:    []float64{0, 1, 2},
+			Y:    []float64{mean, percentile(samples, 0.5), percentile(samples, 0.95)},
+		})
+	}
+	return []Figure{fig}, nil
+}
+
+// percentile returns the q-quantile of sorted samples (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Measures evaluates the generalized permutation-calibrated measures (the
+// paper's Section-2.2 future work) against the canonical IM-GRN measure on
+// the E.coli-like ROC task: calibrated Spearman and calibrated mutual
+// information, each sharing Definition 2's confidence semantics.
+func Measures(p Params) ([]Figure, error) {
+	m, truth, err := synth.GenerateOrganism(synth.EColi, p.ROCGenes(), p.ROCSampleCap(), p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	scorers := []grn.Scorer{
+		imGRNScorer(p),
+		grn.NewCalibratedScorer("cal-Spearman", grn.SpearmanVec, p.Seed^0x71c3, 2*p.Samples),
+		grn.NewCalibratedScorer("cal-MI", grn.MutualInfoVec(0), p.Seed^0x55aa, 2*p.Samples),
+		grn.CorrelationScorer{},
+	}
+	fig := Figure{
+		ID:     "measures",
+		Title:  fmt.Sprintf("ROC of calibrated measures (E.coli-like, n_i=%d)", p.ROCGenes()),
+		XLabel: "FPR",
+		YLabel: "TPR",
+	}
+	for _, sc := range scorers {
+		points, auc, aupr, err := rocForScorer(m, truth, sc)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: measures %s: %w", sc.Name(), err)
+		}
+		s := Series{Name: fmt.Sprintf("%s(AUC=%.3f,AUPR=%.3f)", sc.Name(), auc, aupr)}
+		for _, pt := range points {
+			s.X = append(s.X, pt.FPR)
+			s.Y = append(s.Y, pt.TPR)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one reproducible plot: an identifier matching the paper
+// ("fig7a"), axis labels, and the series the paper draws.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Format renders the figure as an aligned text table, one row per X value
+// and one column per series — the "same rows/series the paper reports".
+func (f Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range f.Series {
+			cell := "-"
+			for i, sx := range s.X {
+				if sx == x {
+					cell = trimFloat(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	writeAligned(&b, rows)
+	fmt.Fprintf(&b, "(y-axis: %s)\n", f.YLabel)
+	return b.String()
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.6g", v)
+	return s
+}
+
+func writeAligned(b *strings.Builder, rows [][]string) {
+	if len(rows) == 0 {
+		return
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+}

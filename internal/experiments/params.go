@@ -1,0 +1,174 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 6 plus Appendices G and H): the ROC effectiveness
+// studies of the IM-GRN inference measure, the efficiency comparisons
+// against the Baseline competitor, the parameter sweeps of Figures 7–12,
+// and the index construction costs of Figure 13. Each experiment returns
+// printable figures whose series mirror the paper's plots; EXPERIMENTS.md
+// records paper-vs-measured shapes.
+package experiments
+
+import "fmt"
+
+// Params mirrors Table 2 plus reproduction-scale knobs. Zero values take
+// the Table-2 defaults scaled by Mode.
+type Params struct {
+	// Table 2 parameters (defaults in bold in the paper).
+	Gamma float64 // inference threshold γ (default 0.5)
+	Alpha float64 // probabilistic threshold α (default 0.5)
+	D     int     // pivots per matrix (default 2)
+	NQ    int     // query genes n_Q (default 5)
+	NMin  int     // min genes per matrix (default 50)
+	NMax  int     // max genes per matrix (default 100)
+	N     int     // matrices in the database (default 10K)
+
+	// Shape parameters the paper leaves implicit.
+	LMin, LMax int // samples per matrix range
+	GenePool   int // gene universe size (controls cross-source overlap)
+
+	// Estimation and workload.
+	Samples      int  // Monte Carlo samples for exact edge probabilities
+	EmbedSamples int  // Monte Carlo samples for embedding y-coordinates
+	Queries      int  // query matrices per measurement (paper: 20)
+	Analytic     bool // use the analytic permutation-null scorer
+	Seed         uint64
+
+	// Mode selects the reproduction scale: "fast" (CI-sized) or "full"
+	// (Table-2 scale). Empty means fast.
+	Mode string
+
+	// NSweepOverride replaces the mode's database-size sweep (fig12/fig13)
+	// when non-empty, letting operators probe specific scales.
+	NSweepOverride []int
+}
+
+// Fast returns the CI-scale defaults: every experiment finishes in seconds
+// while preserving the paper's curve shapes.
+func Fast() Params {
+	return Params{
+		Gamma: 0.5, Alpha: 0.5, D: 2, NQ: 5,
+		NMin: 20, NMax: 40, N: 800,
+		LMin: 10, LMax: 20, GenePool: 1000,
+		Samples: 64, EmbedSamples: 48, Queries: 5,
+		Seed: 42, Mode: "fast",
+	}
+}
+
+// Full returns the Table-2 scale defaults.
+func Full() Params {
+	return Params{
+		Gamma: 0.5, Alpha: 0.5, D: 2, NQ: 5,
+		NMin: 50, NMax: 100, N: 10000,
+		LMin: 20, LMax: 50, GenePool: 6000,
+		Samples: 192, EmbedSamples: 96, Queries: 20,
+		Seed: 42, Mode: "full",
+	}
+}
+
+// Micro returns test-scale defaults: every experiment (including the full
+// registry) completes in a few seconds total, for CI regression coverage of
+// the harness plumbing. Not meaningful for performance numbers.
+func Micro() Params {
+	return Params{
+		Gamma: 0.5, Alpha: 0.5, D: 2, NQ: 3,
+		NMin: 6, NMax: 10, N: 60,
+		LMin: 8, LMax: 10, GenePool: 80,
+		Samples: 24, EmbedSamples: 12, Queries: 1,
+		Analytic: true,
+		Seed:     42, Mode: "micro",
+	}
+}
+
+// ByMode returns Fast(), Full() or Micro() by name.
+func ByMode(mode string) (Params, error) {
+	switch mode {
+	case "", "fast":
+		return Fast(), nil
+	case "full":
+		return Full(), nil
+	case "micro":
+		return Micro(), nil
+	default:
+		return Params{}, fmt.Errorf("experiments: unknown mode %q (want fast, full or micro)", mode)
+	}
+}
+
+// GammaSweep, AlphaSweep, DSweep, NQSweep are the Table-2 sweeps.
+var (
+	GammaSweep = []float64{0.2, 0.3, 0.5, 0.8, 0.9}
+	AlphaSweep = []float64{0.2, 0.3, 0.5, 0.8, 0.9}
+	DSweep     = []int{1, 2, 3, 4}
+	NQSweep    = []int{2, 3, 5, 8, 10}
+)
+
+// RangeSweep returns the Table-2 [n_min, n_max] sweep, scaled down in fast
+// and micro modes so the largest setting stays CI-sized.
+func (p Params) RangeSweep() [][2]int {
+	switch p.Mode {
+	case "full":
+		return [][2]int{{10, 20}, {20, 50}, {50, 100}, {100, 200}, {200, 300}}
+	case "micro":
+		return [][2]int{{4, 6}, {6, 10}}
+	default:
+		return [][2]int{{5, 10}, {10, 20}, {20, 40}, {40, 60}, {60, 80}}
+	}
+}
+
+// NSweep returns the Table-2 database-size sweep (10K–100K), scaled in
+// fast and micro modes, or the explicit override when set.
+func (p Params) NSweep() []int {
+	if len(p.NSweepOverride) > 0 {
+		return p.NSweepOverride
+	}
+	switch p.Mode {
+	case "full":
+		return []int{10000, 20000, 30000, 40000, 50000, 100000}
+	case "micro":
+		return []int{40, 80}
+	default:
+		return []int{200, 400, 800, 1600, 3200}
+	}
+}
+
+// ROCGenes returns the matrix width used by the ROC studies (n_i = 200 in
+// Fig. 5a), scaled in fast and micro modes.
+func (p Params) ROCGenes() int {
+	switch p.Mode {
+	case "full":
+		return 200
+	case "micro":
+		return 24
+	default:
+		return 60
+	}
+}
+
+// ROCSampleCap bounds the organism sample count outside full mode so that
+// the per-pair Monte Carlo stays cheap.
+func (p Params) ROCSampleCap() int {
+	switch p.Mode {
+	case "full":
+		return 0 // organism's own sample count
+	case "micro":
+		return 24
+	default:
+		return 60
+	}
+}
+
+// InferenceSizeSweep returns the Fig. 5(b) graph sizes n_i.
+func (p Params) InferenceSizeSweep() []int {
+	switch p.Mode {
+	case "full":
+		return []int{100, 200, 300, 400, 500}
+	case "micro":
+		return []int{15, 25}
+	default:
+		return []int{40, 60, 80, 100, 120}
+	}
+}
+
+// String summarizes the parameter grid like Table 2's caption.
+func (p Params) String() string {
+	return fmt.Sprintf("mode=%s γ=%g α=%g d=%d n_Q=%d n∈[%d,%d] l∈[%d,%d] N=%d S=%d queries=%d seed=%d",
+		p.Mode, p.Gamma, p.Alpha, p.D, p.NQ, p.NMin, p.NMax, p.LMin, p.LMax, p.N, p.Samples, p.Queries, p.Seed)
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// metric identifies which Section-6 y-axis a sub-figure reports.
+type metric int
+
+const (
+	metricCPU metric = iota
+	metricIO
+	metricCandidates
+)
+
+func (m metric) label() string {
+	switch m {
+	case metricCPU:
+		return "CPU time (s)"
+	case metricIO:
+		return "I/O cost (page accesses)"
+	default:
+		return "# candidates"
+	}
+}
+
+func (m metric) of(a Aggregate) float64 {
+	switch m {
+	case metricCPU:
+		return a.CPUSeconds
+	case metricIO:
+		return a.IOCost
+	default:
+		return a.Candidates
+	}
+}
+
+// threeFigures fans one (x, aggregate-per-series) sweep into the paper's
+// standard (a) CPU, (b) I/O, (c) candidates triptych.
+func threeFigures(id, title, xlabel string, seriesNames []string, xs []float64, aggs [][]Aggregate) []Figure {
+	out := make([]Figure, 0, 3)
+	for sub, m := range []metric{metricCPU, metricIO, metricCandidates} {
+		f := Figure{
+			ID:     fmt.Sprintf("%s%c", id, 'a'+sub),
+			Title:  title,
+			XLabel: xlabel,
+			YLabel: m.label(),
+		}
+		for si, name := range seriesNames {
+			s := Series{Name: name}
+			for xi, x := range xs {
+				s.X = append(s.X, x)
+				s.Y = append(s.Y, m.of(aggs[si][xi]))
+			}
+			f.Series = append(f.Series, s)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Fig6 reproduces Figure 6: IM-GRN vs Baseline on Real, Uni and Gau data.
+// The Baseline pre-computes every pairwise edge probability offline and
+// scans all of it per query.
+func Fig6(p Params) ([]Figure, error) {
+	type datasetBuilder struct {
+		name  string
+		build func() (*synth.Dataset, error)
+	}
+	// The Baseline materializes O(N·n²) floats; cap N so Figure 6 stays
+	// runnable at full scale (the paper itself only shows Fig. 6 at the
+	// default N; the trend vs Baseline is orders-of-magnitude regardless).
+	bp := p
+	if bp.N > 2000 {
+		bp.N = 2000
+	}
+	builders := []datasetBuilder{
+		{"Real", func() (*synth.Dataset, error) { return buildReal(bp) }},
+		{"Uni", func() (*synth.Dataset, error) { return buildSynthetic(synth.Uniform, bp) }},
+		{"Gau", func() (*synth.Dataset, error) { return buildSynthetic(synth.Gaussian, bp) }},
+	}
+	xs := []float64{0, 1, 2} // categorical: Real, Uni, Gau
+	aggs := [][]Aggregate{make([]Aggregate, len(builders)), make([]Aggregate, len(builders))}
+	for di, b := range builders {
+		ds, err := b.build()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fig6 %s: %w", b.name, err)
+		}
+		idx, err := buildIndex(ds, bp)
+		if err != nil {
+			return nil, err
+		}
+		proc, err := core.NewProcessor(idx, coreParams(bp))
+		if err != nil {
+			return nil, err
+		}
+		// Baseline uses the analytic estimator offline: full Monte Carlo
+		// materialization is the very cost the paper's method avoids, and
+		// would dominate harness time without changing the online query
+		// comparison.
+		bparams := coreParams(bp)
+		bparams.Analytic = true
+		base, err := core.BuildBaseline(ds.DB, bparams)
+		if err != nil {
+			return nil, err
+		}
+		queries, err := workload(ds, bp, bp.NQ)
+		if err != nil {
+			return nil, err
+		}
+		if aggs[0][di], err = runWorkload(proc, queries); err != nil {
+			return nil, err
+		}
+		if aggs[1][di], err = runWorkload(base, queries); err != nil {
+			return nil, err
+		}
+	}
+	figs := threeFigures("fig6", fmt.Sprintf("IM-GRN vs Baseline (N=%d; x: 0=Real 1=Uni 2=Gau)", bp.N),
+		"dataset", []string{"IM-GRN", "Baseline"}, xs, aggs)
+	return figs, nil
+}
+
+// sweepSynthetic runs one parameter sweep over the Uni and Gau datasets,
+// rebuilding the dataset/index per x when mutate requires it.
+func sweepSynthetic(id, title, xlabel string, xs []float64, p Params,
+	run func(dist synth.Distribution, x float64) (Aggregate, error)) ([]Figure, error) {
+	dists := []synth.Distribution{synth.Uniform, synth.Gaussian}
+	aggs := [][]Aggregate{make([]Aggregate, len(xs)), make([]Aggregate, len(xs))}
+	for di, dist := range dists {
+		for xi, x := range xs {
+			a, err := run(dist, x)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s %s x=%g: %w", id, dist, x, err)
+			}
+			aggs[di][xi] = a
+		}
+	}
+	return threeFigures(id, title, xlabel, []string{"Uni", "Gau"}, xs, aggs), nil
+}
+
+// Fig7 reproduces Figure 7: performance vs inference threshold γ.
+func Fig7(p Params) ([]Figure, error) {
+	cache, err := newSweepCache(p)
+	if err != nil {
+		return nil, err
+	}
+	xs := GammaSweep
+	return sweepSynthetic("fig7", "IM-GRN performance vs γ", "γ", xs, p,
+		func(dist synth.Distribution, x float64) (Aggregate, error) {
+			cp := coreParams(p)
+			cp.Gamma = x
+			return cache.run(dist, p.NQ, cp)
+		})
+}
+
+// Fig8 reproduces Figure 8: performance vs probabilistic threshold α.
+func Fig8(p Params) ([]Figure, error) {
+	cache, err := newSweepCache(p)
+	if err != nil {
+		return nil, err
+	}
+	xs := AlphaSweep
+	return sweepSynthetic("fig8", "IM-GRN performance vs α", "α", xs, p,
+		func(dist synth.Distribution, x float64) (Aggregate, error) {
+			cp := coreParams(p)
+			cp.Alpha = x
+			return cache.run(dist, p.NQ, cp)
+		})
+}
+
+// Fig9 reproduces Figure 9: performance vs pivot count d (index
+// dimensionality 2d+1): CPU and I/O grow with d (dimensionality curse).
+func Fig9(p Params) ([]Figure, error) {
+	xs := make([]float64, len(DSweep))
+	for i, d := range DSweep {
+		xs[i] = float64(d)
+	}
+	return sweepSynthetic("fig9", "IM-GRN performance vs pivots d", "d", xs, p,
+		func(dist synth.Distribution, x float64) (Aggregate, error) {
+			pp := p
+			pp.D = int(x)
+			agg, _, err := measureIMGRN(dist, pp)
+			return agg, err
+		})
+}
+
+// Fig10 reproduces Figure 10: performance vs query size n_Q ("U" curves).
+func Fig10(p Params) ([]Figure, error) {
+	cache, err := newSweepCache(p)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]float64, len(NQSweep))
+	for i, nq := range NQSweep {
+		xs[i] = float64(nq)
+	}
+	return sweepSynthetic("fig10", "IM-GRN performance vs query genes n_Q", "n_Q", xs, p,
+		func(dist synth.Distribution, x float64) (Aggregate, error) {
+			return cache.run(dist, int(x), coreParams(p))
+		})
+}
+
+// Fig11 reproduces Figure 11: performance vs genes-per-matrix range.
+func Fig11(p Params) ([]Figure, error) {
+	ranges := p.RangeSweep()
+	xs := make([]float64, len(ranges))
+	for i, r := range ranges {
+		xs[i] = float64(r[1]) // label each range by n_max
+	}
+	return sweepSynthetic("fig11", "IM-GRN performance vs [n_min,n_max] (x = n_max)", "n_max", xs, p,
+		func(dist synth.Distribution, x float64) (Aggregate, error) {
+			pp := p
+			for _, r := range ranges {
+				if float64(r[1]) == x {
+					pp.NMin, pp.NMax = r[0], r[1]
+				}
+			}
+			if pp.GenePool < 2*pp.NMax {
+				pp.GenePool = 2 * pp.NMax
+			}
+			agg, _, err := measureIMGRN(dist, pp)
+			return agg, err
+		})
+}
+
+// Fig12 reproduces Figure 12: scalability vs database size N.
+func Fig12(p Params) ([]Figure, error) {
+	ns := p.NSweep()
+	xs := make([]float64, len(ns))
+	for i, n := range ns {
+		xs[i] = float64(n)
+	}
+	return sweepSynthetic("fig12", "IM-GRN scalability vs N", "N", xs, p,
+		func(dist synth.Distribution, x float64) (Aggregate, error) {
+			pp := p
+			pp.N = int(x)
+			agg, _, err := measureIMGRN(dist, pp)
+			return agg, err
+		})
+}
+
+// Fig13 reproduces Figure 13: index construction time vs [n_min, n_max]
+// and vs N.
+func Fig13(p Params) ([]Figure, error) {
+	dists := []synth.Distribution{synth.Uniform, synth.Gaussian}
+
+	ranges := p.RangeSweep()
+	figA := Figure{ID: "fig13a", Title: "Index construction time vs [n_min,n_max] (x = n_max)",
+		XLabel: "n_max", YLabel: "seconds"}
+	for _, dist := range dists {
+		s := Series{Name: dist.String()}
+		for _, r := range ranges {
+			pp := p
+			pp.NMin, pp.NMax = r[0], r[1]
+			if pp.GenePool < 2*pp.NMax {
+				pp.GenePool = 2 * pp.NMax
+			}
+			elapsed, err := buildOnly(dist, pp)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(r[1]))
+			s.Y = append(s.Y, elapsed.Seconds())
+		}
+		figA.Series = append(figA.Series, s)
+	}
+
+	figB := Figure{ID: "fig13b", Title: "Index construction time vs N",
+		XLabel: "N", YLabel: "seconds"}
+	for _, dist := range dists {
+		s := Series{Name: dist.String()}
+		for _, n := range p.NSweep() {
+			pp := p
+			pp.N = n
+			elapsed, err := buildOnly(dist, pp)
+			if err != nil {
+				return nil, err
+			}
+			s.X = append(s.X, float64(n))
+			s.Y = append(s.Y, elapsed.Seconds())
+		}
+		figB.Series = append(figB.Series, s)
+	}
+	return []Figure{figA, figB}, nil
+}
+
+func buildOnly(dist synth.Distribution, p Params) (time.Duration, error) {
+	ds, err := buildSynthetic(dist, p)
+	if err != nil {
+		return 0, err
+	}
+	idx, err := buildIndex(ds, p)
+	if err != nil {
+		return 0, err
+	}
+	return idx.Stats().Elapsed, nil
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/stats"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// NoiseSigma is the Gaussian corruption of the robustness studies:
+// N(0, 0.3) per matrix element (Section 6.2).
+const NoiseSigma = 0.3
+
+// rocScorers builds the scorer under test. Fresh scorers per run keep the
+// Monte Carlo streams independent.
+func imGRNScorer(p Params) grn.Scorer {
+	if p.Analytic {
+		return grn.AnalyticScorer{}
+	}
+	// ROC ranking needs finer probability resolution than threshold
+	// queries do; quadruple the Monte Carlo budget to reduce score ties.
+	return grn.NewRandomizedScorer(p.Seed^0x1f83d9abfb41bd6b, 4*p.Samples)
+}
+
+// rocForScorer computes ROC points of one scorer against the ground truth
+// of m, sweeping the inference threshold γ from 0 to 1 (step 0.01 in the
+// paper; 0.02 here keeps output compact without changing the curve). The
+// returned AUPR accompanies the AUC: with sparse true edges it is the
+// stricter GRN-benchmark metric.
+func rocForScorer(m *gene.Matrix, truth *synth.Truth, sc grn.Scorer) (points []stats.ROCPoint, auc, aupr float64, err error) {
+	scores, labels, err := pairScoresAndLabels(m, truth, sc)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	ths := stats.Thresholds(0, 1, 50)
+	points = stats.ROCCurve(scores, labels, ths)
+	pr := stats.PRCurve(scores, labels, ths)
+	return points, stats.AUC(points), stats.AUPR(pr), nil
+}
+
+func pairScoresAndLabels(m *gene.Matrix, truth *synth.Truth, sc grn.Scorer) ([]float64, []bool, error) {
+	if err := sc.Prepare(m); err != nil {
+		return nil, nil, err
+	}
+	n := m.NumGenes()
+	scores := make([]float64, 0, n*(n-1)/2)
+	labels := make([]bool, 0, n*(n-1)/2)
+	for s := 0; s < n; s++ {
+		for t := s + 1; t < n; t++ {
+			scores = append(scores, sc.Score(m, s, t))
+			labels = append(labels, truth.Has(s, t))
+		}
+	}
+	return scores, labels, nil
+}
+
+// rocFigure compares IM-GRN against a competitor scorer over one organism
+// with and without noise, producing the four ROC curves of Fig. 5(a) /
+// Fig. 14 / Fig. 15.
+func rocFigure(id string, organism synth.OrganismSpec, competitor grn.Scorer, p Params) (Figure, error) {
+	m, truth, err := synth.GenerateOrganism(organism, p.ROCGenes(), p.ROCSampleCap(), p.Seed)
+	if err != nil {
+		return Figure{}, err
+	}
+	noisy := m.WithNoise(randgen.New(p.Seed^0x452821e638d01377), NoiseSigma)
+
+	fig := Figure{
+		ID:     id,
+		Title:  fmt.Sprintf("ROC on %s-like data (±noise N(0,%.1f)), n_i=%d", organism.Name, NoiseSigma, p.ROCGenes()),
+		XLabel: "FPR",
+		YLabel: "TPR",
+	}
+	type variant struct {
+		name string
+		m    *gene.Matrix
+		sc   grn.Scorer
+	}
+	variants := []variant{
+		{"IM-GRN", m, imGRNScorer(p)},
+		{"IM-GRN+noise", noisy, imGRNScorer(p)},
+		{competitor.Name(), m, competitor},
+		{competitor.Name() + "+noise", noisy, competitor},
+	}
+	for _, v := range variants {
+		points, auc, aupr, err := rocForScorer(v.m, truth, v.sc)
+		if err != nil {
+			return Figure{}, fmt.Errorf("experiments: %s ROC for %s: %w", id, v.name, err)
+		}
+		s := Series{Name: fmt.Sprintf("%s(AUC=%.3f,AUPR=%.3f)", v.name, auc, aupr)}
+		for _, pt := range points {
+			s.X = append(s.X, pt.FPR)
+			s.Y = append(s.Y, pt.TPR)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig5a reproduces Figure 5(a): ROC of IM-GRN vs Correlation on E.coli
+// with and without noise, plus a supplementary operating-point study
+// backing the paper's motivating claim (Section 1/2.2): a fixed ad-hoc
+// threshold keeps its meaning for the calibrated probabilistic measure,
+// while the same fixed |r| threshold silently changes its operating point
+// as noise grows.
+func Fig5a(p Params) ([]Figure, error) {
+	fig, err := rocFigure("fig5a", synth.EColi, grn.CorrelationScorer{}, p)
+	if err != nil {
+		return nil, err
+	}
+	supp, err := thresholdStability(p)
+	if err != nil {
+		return nil, err
+	}
+	return []Figure{fig, supp}, nil
+}
+
+// thresholdStability measures the recall (TPR) of each measure at the
+// fixed default threshold γ = 0.5 while the noise level grows.
+func thresholdStability(p Params) (Figure, error) {
+	m, truth, err := synth.GenerateOrganism(synth.EColi, p.ROCGenes(), p.ROCSampleCap(), p.Seed)
+	if err != nil {
+		return Figure{}, err
+	}
+	noises := []float64{0, 0.3, 0.6, 1.0}
+	fig := Figure{
+		ID:     "fig5a-supp",
+		Title:  "Recall at fixed threshold γ=0.5 vs noise σ (E.coli-like)",
+		XLabel: "noise σ",
+		YLabel: "TPR at γ=0.5",
+	}
+	imgrn := Series{Name: "IM-GRN"}
+	corr := Series{Name: "Correlation"}
+	for _, sigma := range noises {
+		mm := m
+		if sigma > 0 {
+			mm = m.WithNoise(randgen.New(p.Seed^uint64(sigma*1e4)^0x0f1e2d3c4b5a6978), sigma)
+		}
+		for _, s := range []struct {
+			sc  grn.Scorer
+			out *Series
+		}{{imGRNScorer(p), &imgrn}, {grn.CorrelationScorer{}, &corr}} {
+			scores, labels, err := pairScoresAndLabels(mm, truth, s.sc)
+			if err != nil {
+				return Figure{}, err
+			}
+			pts := stats.ROCCurve(scores, labels, []float64{0.5})
+			s.out.X = append(s.out.X, sigma)
+			s.out.Y = append(s.out.Y, pts[0].TPR)
+		}
+	}
+	fig.Series = []Series{imgrn, corr}
+	return fig, nil
+}
+
+// Fig14 reproduces Appendix G: ROC on S.aureus and S.cerevisiae.
+func Fig14(p Params) ([]Figure, error) {
+	a, err := rocFigure("fig14a", synth.SAureus, grn.CorrelationScorer{}, p)
+	if err != nil {
+		return nil, err
+	}
+	b, err := rocFigure("fig14b", synth.SCerevisiae, grn.CorrelationScorer{}, p)
+	if err != nil {
+		return nil, err
+	}
+	return []Figure{a, b}, nil
+}
+
+// Fig15 reproduces Appendix H: ROC of IM-GRN vs partial correlation
+// (pCorr) on E.coli with and without noise.
+func Fig15(p Params) ([]Figure, error) {
+	fig, err := rocFigure("fig15", synth.EColi, &grn.PartialCorrScorer{Ridge: 1e-2}, p)
+	if err != nil {
+		return nil, err
+	}
+	return []Figure{fig}, nil
+}
+
+// Fig5b reproduces Figure 5(b): wall-clock inference time of IM-GRN vs
+// Correlation over E.coli-like matrices of growing width n_i.
+func Fig5b(p Params) ([]Figure, error) {
+	sizes := p.InferenceSizeSweep()
+	imgrn := Series{Name: "IM-GRN"}
+	corr := Series{Name: "Correlation"}
+	for _, n := range sizes {
+		m, _, err := synth.GenerateOrganism(synth.EColi, n, p.ROCSampleCap(), p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := grn.Infer(m, imGRNScorer(p), p.Gamma); err != nil {
+			return nil, err
+		}
+		imgrn.X = append(imgrn.X, float64(n))
+		imgrn.Y = append(imgrn.Y, time.Since(t0).Seconds())
+
+		t0 = time.Now()
+		if _, err := grn.Infer(m, grn.CorrelationScorer{}, p.Gamma); err != nil {
+			return nil, err
+		}
+		corr.X = append(corr.X, float64(n))
+		corr.Y = append(corr.Y, time.Since(t0).Seconds())
+	}
+	return []Figure{{
+		ID:     "fig5b",
+		Title:  "GRN inference time vs graph size n_i (E.coli-like)",
+		XLabel: "n_i",
+		YLabel: "seconds",
+		Series: []Series{imgrn, corr},
+	}}, nil
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// sweepCache reuses (dataset, index, workload) across sweep points for
+// experiments that only vary query-time parameters (γ, α, n_Q): the index
+// of Section 5.1 is threshold-independent, which is exactly what makes the
+// ad-hoc queries of the paper possible.
+type sweepCache struct {
+	p       Params
+	entries map[synth.Distribution]*sweepEntry
+}
+
+type sweepEntry struct {
+	ds      *synth.Dataset
+	idx     *index.Index
+	queries map[int][]*gene.Matrix // keyed by n_Q
+}
+
+func newSweepCache(p Params) (*sweepCache, error) {
+	return &sweepCache{p: p, entries: make(map[synth.Distribution]*sweepEntry)}, nil
+}
+
+func (c *sweepCache) entry(dist synth.Distribution) (*sweepEntry, error) {
+	if e, ok := c.entries[dist]; ok {
+		return e, nil
+	}
+	ds, err := buildSynthetic(dist, c.p)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := buildIndex(ds, c.p)
+	if err != nil {
+		return nil, err
+	}
+	e := &sweepEntry{ds: ds, idx: idx, queries: make(map[int][]*gene.Matrix)}
+	c.entries[dist] = e
+	return e, nil
+}
+
+// run executes the cached workload of size nq with the given query-time
+// parameters and returns the aggregate metrics.
+func (c *sweepCache) run(dist synth.Distribution, nq int, cp core.Params) (Aggregate, error) {
+	e, err := c.entry(dist)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	qs, ok := e.queries[nq]
+	if !ok {
+		qs, err = workload(e.ds, c.p, nq)
+		if err != nil {
+			return Aggregate{}, err
+		}
+		e.queries[nq] = qs
+	}
+	proc, err := core.NewProcessor(e.idx, cp)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	return runWorkload(proc, qs)
+}

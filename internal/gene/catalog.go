@@ -1,0 +1,57 @@
+package gene
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog maps human-readable gene names (e.g. "G1234", "lexA") to integer
+// gene IDs and back. IDs are assigned densely in registration order so they
+// double as the 1-D gene coordinate of the (2d+1)-dimensional index points
+// (Section 5.1).
+type Catalog struct {
+	byName map[string]ID
+	names  []string
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]ID)}
+}
+
+// Intern returns the ID for name, registering it if new.
+func (c *Catalog) Intern(name string) ID {
+	if id, ok := c.byName[name]; ok {
+		return id
+	}
+	id := ID(len(c.names))
+	c.byName[name] = id
+	c.names = append(c.names, name)
+	return id
+}
+
+// Lookup returns the ID for name and whether it is registered.
+func (c *Catalog) Lookup(name string) (ID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// Name returns the name registered for id, or a synthetic "gene#<id>" when
+// the ID was never interned (e.g. data generated directly with numeric IDs).
+func (c *Catalog) Name(id ID) string {
+	if int(id) >= 0 && int(id) < len(c.names) {
+		return c.names[id]
+	}
+	return fmt.Sprintf("gene#%d", int(id))
+}
+
+// Len returns the number of registered names.
+func (c *Catalog) Len() int { return len(c.names) }
+
+// Names returns all registered names sorted lexicographically.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,153 @@
+package gene
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// CSVLayout selects how a delimited expression file is oriented.
+type CSVLayout int
+
+const (
+	// GenesInColumns: header row holds gene names, each following row is
+	// one individual's sample (the l×n layout of Definition 1).
+	GenesInColumns CSVLayout = iota
+	// GenesInRows: first column holds gene names, each following column is
+	// one individual (the common microarray export layout).
+	GenesInRows
+)
+
+// ReadCSV parses a delimited gene expression file into a Matrix,
+// interning gene names through the catalog (so the same gene name maps to
+// the same GeneID across data sources). comma selects the delimiter
+// (',' for CSV, '\t' for TSV).
+func ReadCSV(r io.Reader, source int, layout CSVLayout, comma rune, cat *Catalog) (*Matrix, error) {
+	cr := csv.NewReader(r)
+	cr.Comma = comma
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1 // validated manually for better messages
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("gene: parsing delimited file: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("gene: file has %d rows, need a header and at least one data row", len(records))
+	}
+	width := len(records[0])
+	for i, rec := range records {
+		if len(rec) != width {
+			return nil, fmt.Errorf("gene: row %d has %d fields, header has %d", i+1, len(rec), width)
+		}
+	}
+	switch layout {
+	case GenesInColumns:
+		return parseGenesInColumns(records, source, cat)
+	case GenesInRows:
+		return parseGenesInRows(records, source, cat)
+	default:
+		return nil, fmt.Errorf("gene: unknown CSV layout %d", layout)
+	}
+}
+
+func parseGenesInColumns(records [][]string, source int, cat *Catalog) (*Matrix, error) {
+	header := records[0]
+	n := len(header)
+	if n == 0 {
+		return nil, fmt.Errorf("gene: empty header")
+	}
+	l := len(records) - 1
+	genes := make([]ID, n)
+	for j, name := range header {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("gene: empty gene name in header column %d", j+1)
+		}
+		genes[j] = cat.Intern(name)
+	}
+	cols := make([][]float64, n)
+	for j := range cols {
+		cols[j] = make([]float64, l)
+	}
+	for i, rec := range records[1:] {
+		for j, field := range rec {
+			v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, fmt.Errorf("gene: row %d column %d: %w", i+2, j+1, err)
+			}
+			cols[j][i] = v
+		}
+	}
+	return NewMatrix(source, genes, cols)
+}
+
+func parseGenesInRows(records [][]string, source int, cat *Catalog) (*Matrix, error) {
+	// records[0] is a header like: gene, sample1, sample2, ...
+	l := len(records[0]) - 1
+	if l < 1 {
+		return nil, fmt.Errorf("gene: need at least one sample column")
+	}
+	n := len(records) - 1
+	genes := make([]ID, n)
+	cols := make([][]float64, n)
+	for gi, rec := range records[1:] {
+		name := strings.TrimSpace(rec[0])
+		if name == "" {
+			return nil, fmt.Errorf("gene: empty gene name at row %d", gi+2)
+		}
+		genes[gi] = cat.Intern(name)
+		col := make([]float64, l)
+		for k, field := range rec[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+			if err != nil {
+				return nil, fmt.Errorf("gene: row %d sample %d: %w", gi+2, k+1, err)
+			}
+			col[k] = v
+		}
+		cols[gi] = col
+	}
+	return NewMatrix(source, genes, cols)
+}
+
+// ReadCSVFile loads a matrix from the named delimited file, inferring the
+// delimiter from the extension (.tsv/.tab → tab, otherwise comma).
+func ReadCSVFile(path string, source int, layout CSVLayout, cat *Catalog) (*Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	comma := ','
+	if strings.HasSuffix(path, ".tsv") || strings.HasSuffix(path, ".tab") {
+		comma = '\t'
+	}
+	return ReadCSV(f, source, layout, comma, cat)
+}
+
+// WriteCSV emits m in the GenesInColumns layout using the catalog for
+// header names.
+func WriteCSV(w io.Writer, m *Matrix, comma rune, cat *Catalog) error {
+	cw := csv.NewWriter(w)
+	cw.Comma = comma
+	header := make([]string, m.NumGenes())
+	for j := range header {
+		header[j] = cat.Name(m.Gene(j))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, m.NumGenes())
+	for i := 0; i < m.Samples(); i++ {
+		for j := 0; j < m.NumGenes(); j++ {
+			row[j] = strconv.FormatFloat(m.Col(j)[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

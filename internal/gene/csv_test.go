@@ -1,0 +1,139 @@
+package gene
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVGenesInColumns(t *testing.T) {
+	in := "lexA,recA,uvrA\n1,4,7\n2,5,8\n3,6,9\n"
+	cat := NewCatalog()
+	m, err := ReadCSV(strings.NewReader(in), 5, GenesInColumns, ',', cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Source != 5 || m.NumGenes() != 3 || m.Samples() != 3 {
+		t.Fatalf("shape: %d genes × %d samples", m.NumGenes(), m.Samples())
+	}
+	id, ok := cat.Lookup("recA")
+	if !ok {
+		t.Fatal("recA not interned")
+	}
+	j := m.IndexOf(id)
+	if j != 1 {
+		t.Fatalf("recA at column %d", j)
+	}
+	if got := m.Col(j); got[0] != 4 || got[2] != 6 {
+		t.Errorf("recA column = %v", got)
+	}
+}
+
+func TestReadCSVGenesInRows(t *testing.T) {
+	in := "gene\tp1\tp2\tp3\tp4\nlexA\t1\t2\t3\t4\nrecA\t9\t8\t7\t6\n"
+	cat := NewCatalog()
+	m, err := ReadCSV(strings.NewReader(in), 1, GenesInRows, '\t', cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGenes() != 2 || m.Samples() != 4 {
+		t.Fatalf("shape: %d genes × %d samples", m.NumGenes(), m.Samples())
+	}
+	id, _ := cat.Lookup("recA")
+	if got := m.Col(m.IndexOf(id)); got[0] != 9 || got[3] != 6 {
+		t.Errorf("recA = %v", got)
+	}
+}
+
+func TestReadCSVSharedCatalog(t *testing.T) {
+	cat := NewCatalog()
+	a, err := ReadCSV(strings.NewReader("g1,g2\n1,2\n3,4\n"), 1, GenesInColumns, ',', cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadCSV(strings.NewReader("g2,g3\n5,6\n7,8\n"), 2, GenesInColumns, ',', cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := cat.Lookup("g2")
+	if a.IndexOf(id) < 0 || b.IndexOf(id) < 0 {
+		t.Error("shared gene should resolve to the same ID in both matrices")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cat := NewCatalog()
+	cases := []struct{ name, in string }{
+		{"header only", "g1,g2\n"},
+		{"ragged", "g1,g2\n1\n"},
+		{"non-numeric", "g1,g2\n1,x\n2,3\n"},
+		{"empty gene name", "g1,\n1,2\n3,4\n"},
+		{"duplicate genes", "g1,g1\n1,2\n3,4\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in), 0, GenesInColumns, ',', cat); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	if _, err := ReadCSV(strings.NewReader("gene,p1\ng1,1\n"), 0, CSVLayout(9), ',', cat); err == nil {
+		t.Error("unknown layout should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("gene\ng1\n"), 0, GenesInRows, ',', cat); err == nil {
+		t.Error("no sample columns should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cat := NewCatalog()
+	in := "alpha,beta\n1.5,-2\n0.25,3\n4,5.125\n"
+	m, err := ReadCSV(strings.NewReader(in), 0, GenesInColumns, ',', cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m, ',', cat); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadCSV(&buf, 0, GenesInColumns, ',', cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < m.NumGenes(); j++ {
+		if m.Gene(j) != m2.Gene(j) {
+			t.Fatal("gene IDs changed in round trip")
+		}
+		for i := 0; i < m.Samples(); i++ {
+			if m.Col(j)[i] != m2.Col(j)[i] {
+				t.Fatalf("value (%d,%d) changed: %v vs %v", i, j, m.Col(j)[i], m2.Col(j)[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVFileDelimiterInference(t *testing.T) {
+	dir := t.TempDir()
+	cat := NewCatalog()
+	tsv := dir + "/m.tsv"
+	if err := writeFile(tsv, "g1\tg2\n1\t2\n3\t4\n"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadCSVFile(tsv, 0, GenesInColumns, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGenes() != 2 {
+		t.Errorf("tsv genes = %d", m.NumGenes())
+	}
+	if _, err := ReadCSVFile(dir+"/missing.csv", 0, GenesInColumns, cat); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func writeFile(path, content string) error {
+	return writeFileBytes(path, []byte(content))
+}
+
+func writeFileBytes(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644)
+}

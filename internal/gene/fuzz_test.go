@@ -1,0 +1,55 @@
+package gene
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadDatabase hardens the binary reader against corrupt or adversarial
+// inputs: it must return an error or a valid database, never panic or
+// allocate unboundedly. `go test -fuzz=FuzzReadDatabase ./internal/gene`
+// explores further; the seed corpus runs in normal test mode.
+func FuzzReadDatabase(f *testing.F) {
+	// Seed: a valid one-matrix database.
+	db := NewDatabase()
+	m, err := NewMatrix(1, []ID{4, 9}, [][]float64{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := db.Add(m); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDatabase(&buf, db); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])              // magic only
+	f.Add(valid[:20])             // truncated header
+	f.Add([]byte("IMGRNDB1"))     // bare magic
+	f.Add(bytes.Repeat(valid, 2)) // trailing garbage
+	// Flipped count byte.
+	mutated := append([]byte(nil), valid...)
+	mutated[8] = 0xFF
+	f.Add(mutated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadDatabase(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// On success the result must be internally consistent.
+		for i := 0; i < got.Len(); i++ {
+			gm := got.Matrix(i)
+			if gm.NumGenes() != len(gm.Genes()) {
+				t.Fatal("inconsistent matrix after successful parse")
+			}
+			for j := 0; j < gm.NumGenes(); j++ {
+				if len(gm.Col(j)) != gm.Samples() {
+					t.Fatal("ragged column after successful parse")
+				}
+			}
+		}
+	})
+}

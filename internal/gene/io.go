@@ -1,0 +1,164 @@
+package gene
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Binary database format (little-endian):
+//
+//	magic   [8]byte  "IMGRNDB1"
+//	count   uint32   number of matrices
+//	repeat count times:
+//	  source  int64
+//	  genes   uint32  (n_i)
+//	  samples uint32  (l_i)
+//	  ids     n_i × int32
+//	  data    n_i × l_i × float64, column-major (vector by vector)
+//
+// The format stores raw (unstandardized) features; standardized forms are
+// recomputed at load time, keeping files portable across estimator changes.
+
+var dbMagic = [8]byte{'I', 'M', 'G', 'R', 'N', 'D', 'B', '1'}
+
+// WriteDatabase serializes d to w.
+func WriteDatabase(w io.Writer, d *Database) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(dbMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(d.Len())); err != nil {
+		return err
+	}
+	for _, m := range d.Matrices() {
+		if err := writeMatrix(bw, m); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeMatrix(w io.Writer, m *Matrix) error {
+	hdr := struct {
+		Source  int64
+		Genes   uint32
+		Samples uint32
+	}{int64(m.Source), uint32(m.NumGenes()), uint32(m.Samples())}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	ids := make([]int32, m.NumGenes())
+	for j := range ids {
+		ids[j] = int32(m.Gene(j))
+	}
+	if err := binary.Write(w, binary.LittleEndian, ids); err != nil {
+		return err
+	}
+	buf := make([]byte, 8*m.Samples())
+	for j := 0; j < m.NumGenes(); j++ {
+		col := m.Col(j)
+		for i, v := range col {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDatabase deserializes a database written by WriteDatabase.
+func ReadDatabase(r io.Reader) (*Database, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("gene: reading magic: %w", err)
+	}
+	if magic != dbMagic {
+		return nil, fmt.Errorf("gene: bad magic %q, not an IM-GRN database file", magic[:])
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("gene: reading matrix count: %w", err)
+	}
+	db := NewDatabase()
+	for i := uint32(0); i < count; i++ {
+		m, err := readMatrix(br)
+		if err != nil {
+			return nil, fmt.Errorf("gene: reading matrix %d: %w", i, err)
+		}
+		if err := db.Add(m); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func readMatrix(r io.Reader) (*Matrix, error) {
+	var hdr struct {
+		Source  int64
+		Genes   uint32
+		Samples uint32
+	}
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	// Sanity caps against corrupt headers: bound each dimension and the
+	// total cell count so a flipped bit cannot demand gigabytes.
+	const (
+		maxDim   = 1 << 22
+		maxCells = 1 << 24
+	)
+	if hdr.Genes > maxDim || hdr.Samples > maxDim ||
+		uint64(hdr.Genes)*uint64(hdr.Samples) > maxCells {
+		return nil, fmt.Errorf("implausible matrix shape %dx%d", hdr.Samples, hdr.Genes)
+	}
+	ids32 := make([]int32, hdr.Genes)
+	if err := binary.Read(r, binary.LittleEndian, ids32); err != nil {
+		return nil, err
+	}
+	genes := make([]ID, hdr.Genes)
+	for j, v := range ids32 {
+		genes[j] = ID(v)
+	}
+	cols := make([][]float64, hdr.Genes)
+	buf := make([]byte, 8*hdr.Samples)
+	for j := range cols {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		col := make([]float64, hdr.Samples)
+		for i := range col {
+			col[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+		}
+		cols[j] = col
+	}
+	return NewMatrix(int(hdr.Source), genes, cols)
+}
+
+// SaveDatabase writes d to the named file.
+func SaveDatabase(path string, d *Database) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDatabase(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDatabase reads a database from the named file.
+func LoadDatabase(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDatabase(f)
+}

@@ -1,0 +1,139 @@
+package gene
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+func randomDatabase(t *testing.T, n int, seed uint64) *Database {
+	t.Helper()
+	rng := randgen.New(seed)
+	db := NewDatabase()
+	for i := 0; i < n; i++ {
+		genes := make([]ID, 2+rng.Intn(5))
+		cols := make([][]float64, len(genes))
+		l := 2 + rng.Intn(6)
+		for j := range genes {
+			genes[j] = ID(j*10 + rng.Intn(10))
+			col := make([]float64, l)
+			for k := range col {
+				col[k] = rng.Gaussian(0, 1)
+			}
+			cols[j] = col
+		}
+		m, err := NewMatrix(i, genes, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Add(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestDatabaseRoundTrip(t *testing.T) {
+	db := randomDatabase(t, 7, 99)
+	var buf bytes.Buffer
+	if err := WriteDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatabasesEqual(t, db, got)
+}
+
+func assertDatabasesEqual(t *testing.T, want, got *Database) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("len = %d, want %d", got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		wm, gm := want.Matrix(i), got.Matrix(i)
+		if gm.Source != wm.Source || gm.NumGenes() != wm.NumGenes() || gm.Samples() != wm.Samples() {
+			t.Fatalf("matrix %d header mismatch", i)
+		}
+		for j := 0; j < wm.NumGenes(); j++ {
+			if gm.Gene(j) != wm.Gene(j) {
+				t.Fatalf("matrix %d gene %d mismatch", i, j)
+			}
+			wc, gc := wm.Col(j), gm.Col(j)
+			for k := range wc {
+				if wc[k] != gc[k] {
+					t.Fatalf("matrix %d col %d row %d: %v != %v", i, j, k, gc[k], wc[k])
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyDatabaseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDatabase(&buf, NewDatabase()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("len = %d, want 0", got.Len())
+	}
+}
+
+func TestReadDatabaseBadMagic(t *testing.T) {
+	_, err := ReadDatabase(bytes.NewReader([]byte("NOTADB00xxxxxxx")))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("err = %v, want magic error", err)
+	}
+}
+
+func TestReadDatabaseTruncated(t *testing.T) {
+	db := randomDatabase(t, 3, 5)
+	var buf bytes.Buffer
+	if err := WriteDatabase(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadDatabase(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Error("truncated stream should fail")
+	}
+}
+
+func TestReadDatabaseImplausibleShape(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(dbMagic[:])
+	buf.Write([]byte{1, 0, 0, 0}) // one matrix
+	// source int64 = 0
+	buf.Write(make([]byte, 8))
+	// genes = 0xFFFFFFFF (implausible), samples = 1
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0})
+	if _, err := ReadDatabase(&buf); err == nil {
+		t.Error("implausible header should fail")
+	}
+}
+
+func TestSaveLoadDatabaseFile(t *testing.T) {
+	db := randomDatabase(t, 4, 77)
+	path := filepath.Join(t.TempDir(), "db.imgrn")
+	if err := SaveDatabase(path, db); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDatabase(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDatabasesEqual(t, db, got)
+}
+
+func TestLoadDatabaseMissingFile(t *testing.T) {
+	if _, err := LoadDatabase(filepath.Join(t.TempDir(), "missing.imgrn")); err == nil {
+		t.Error("missing file should error")
+	}
+}

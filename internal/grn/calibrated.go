@@ -1,0 +1,159 @@
+package grn
+
+import (
+	"math"
+	"sort"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/stats"
+)
+
+// VectorScore is a raw pairwise association measure over feature vectors.
+type VectorScore func(x, y []float64) float64
+
+// CalibratedScorer generalizes Definition 2 to any association measure —
+// the future-work direction the paper sketches in Section 2.2: the edge
+// probability is the chance that the observed score beats the score
+// against a randomized (permuted) partner vector,
+//
+//	e.p = Pr{ fn(X_s, X_t) > fn(X_s, X_t^R) },
+//
+// estimated by Monte Carlo over uniform permutations. With fn = |Pearson|
+// this coincides with the paper's own measure; with fn = mutual
+// information it yields the calibrated-MI variant.
+type CalibratedScorer struct {
+	// Label names the measure in experiment output.
+	Label string
+	// Fn is the raw measure; higher means more associated.
+	Fn VectorScore
+	// Samples is the Monte Carlo budget (stats.DefaultSamples when 0).
+	Samples int
+
+	rng     *randgen.Rand
+	scratch []float64
+}
+
+// NewCalibratedScorer wraps fn into a permutation-calibrated probability.
+func NewCalibratedScorer(label string, fn VectorScore, seed uint64, samples int) *CalibratedScorer {
+	return &CalibratedScorer{Label: label, Fn: fn, Samples: samples, rng: randgen.New(seed)}
+}
+
+// Name implements Scorer.
+func (c *CalibratedScorer) Name() string { return c.Label }
+
+// Prepare implements Scorer.
+func (c *CalibratedScorer) Prepare(*gene.Matrix) error { return nil }
+
+// Score implements Scorer.
+func (c *CalibratedScorer) Score(m *gene.Matrix, a, b int) float64 {
+	x, y := m.Col(a), m.Col(b)
+	samples := c.Samples
+	if samples <= 0 {
+		samples = stats.DefaultSamples
+	}
+	observed := c.Fn(x, y)
+	if cap(c.scratch) < len(y) {
+		c.scratch = make([]float64, len(y))
+	}
+	perm := c.scratch[:len(y)]
+	hits := 0
+	for i := 0; i < samples; i++ {
+		c.rng.PermuteInto(perm, y)
+		if observed > c.Fn(x, perm) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// AbsPearsonVec is the |Pearson| raw measure; CalibratedScorer over it
+// reproduces the paper's Definition-2 measure (validated in tests).
+func AbsPearsonVec(x, y []float64) float64 {
+	lx, ly := float64(len(x)), float64(len(y))
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/lx, sy/ly
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	den := math.Sqrt(sxx * syy)
+	if den < 1e-30 {
+		return 0
+	}
+	return math.Abs(sxy / den)
+}
+
+// SpearmanVec is the absolute Spearman rank correlation — a robust raw
+// measure that pairs naturally with permutation calibration.
+func SpearmanVec(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return 0
+	}
+	rx := ranks(x)
+	ry := ranks(y)
+	return AbsPearsonVec(rx, ry)
+}
+
+func ranks(x []float64) []float64 {
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return x[idx[i]] < x[idx[j]] })
+	out := make([]float64, len(x))
+	for rank, i := range idx {
+		out[i] = float64(rank)
+	}
+	return out
+}
+
+// MutualInfoVec adapts the histogram MI estimator to a raw VectorScore so
+// it can be permutation-calibrated (calibrated MI — the measure family of
+// ARACNE-style inference with Definition-2 confidence semantics).
+func MutualInfoVec(bins int) VectorScore {
+	return func(x, y []float64) float64 {
+		l := len(x)
+		if l != len(y) || l < 4 {
+			return 0
+		}
+		b := bins
+		if b <= 0 {
+			b = int(math.Sqrt(float64(l) / 5))
+			if b < 2 {
+				b = 2
+			}
+		}
+		bx := equalFrequencyBins(x, b)
+		by := equalFrequencyBins(y, b)
+		joint := make([]float64, b*b)
+		px := make([]float64, b)
+		py := make([]float64, b)
+		inv := 1 / float64(l)
+		for i := 0; i < l; i++ {
+			joint[bx[i]*b+by[i]] += inv
+			px[bx[i]] += inv
+			py[by[i]] += inv
+		}
+		var mi float64
+		for i := 0; i < b; i++ {
+			for j := 0; j < b; j++ {
+				p := joint[i*b+j]
+				if p > 0 {
+					mi += p * math.Log(p/(px[i]*py[j]))
+				}
+			}
+		}
+		return mi
+	}
+}

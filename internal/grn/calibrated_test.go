@@ -1,0 +1,110 @@
+package grn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/stats"
+)
+
+// TestCalibratedAbsPearsonMatchesDefinition2: the generic calibrated
+// scorer with |Pearson| must agree with the paper's exact two-sided
+// probability.
+func TestCalibratedAbsPearsonMatchesDefinition2(t *testing.T) {
+	m := testMatrix(t, 6, 100)
+	exact := stats.ExactAbsEdgeProbability(m.StdCol(0), m.StdCol(3))
+	sc := NewCalibratedScorer("cal|r|", AbsPearsonVec, 101, 20000)
+	if got := sc.Score(m, 0, 3); math.Abs(got-exact) > 0.03 {
+		t.Errorf("calibrated |r| = %v, exact Definition-2 = %v", got, exact)
+	}
+}
+
+func TestCalibratedScorerStrongPair(t *testing.T) {
+	m := testMatrix(t, 40, 102)
+	for _, sc := range []*CalibratedScorer{
+		NewCalibratedScorer("cal|r|", AbsPearsonVec, 103, 256),
+		NewCalibratedScorer("cal-spearman", SpearmanVec, 104, 256),
+		NewCalibratedScorer("cal-MI", MutualInfoVec(0), 105, 256),
+	} {
+		if got := sc.Score(m, 0, 1); got < 0.9 {
+			t.Errorf("%s: strong pair scored %v", sc.Name(), got)
+		}
+		if got := sc.Score(m, 0, 3); got > 0.98 {
+			t.Errorf("%s: independent pair scored %v (should not saturate)", sc.Name(), got)
+		}
+	}
+}
+
+// TestCalibratedUniformUnderNull: for independent vectors the calibrated
+// probability is ~uniform, so its mean over many pairs is ~0.5 — the
+// property that gives γ its false-positive-rate semantics.
+func TestCalibratedUniformUnderNull(t *testing.T) {
+	rng := randgen.New(106)
+	sc := NewCalibratedScorer("cal|r|", AbsPearsonVec, 107, 128)
+	var sum float64
+	const trials = 60
+	for k := 0; k < trials; k++ {
+		m := testMatrix(t, 20, rng.Uint64())
+		sum += sc.Score(m, 0, 3) // independent columns
+	}
+	mean := sum / trials
+	if mean < 0.35 || mean > 0.65 {
+		t.Errorf("null mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestCalibratedMIDetectsNonlinear(t *testing.T) {
+	rng := randgen.New(108)
+	l := 300
+	x := make([]float64, l)
+	dep := make([]float64, l)
+	for i := 0; i < l; i++ {
+		x[i] = rng.Gaussian(0, 1)
+		dep[i] = math.Abs(x[i]) // zero linear correlation, strong dependence
+	}
+	m := matrixFromCols(t, [][]float64{x, dep})
+	calMI := NewCalibratedScorer("cal-MI", MutualInfoVec(0), 109, 256)
+	calR := NewCalibratedScorer("cal|r|", AbsPearsonVec, 110, 256)
+	if mi, r := calMI.Score(m, 0, 1), calR.Score(m, 0, 1); mi < 0.95 {
+		t.Errorf("calibrated MI = %v (|r| variant = %v); MI should detect |x| dependence", mi, r)
+	}
+}
+
+func TestSpearmanVec(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{10, 100, 1000, 10000, 100000} // monotone, nonlinear
+	if got := SpearmanVec(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Spearman of monotone pair = %v, want 1", got)
+	}
+	rev := []float64{5, 4, 3, 2, 1}
+	if got := SpearmanVec(x, rev); math.Abs(got-1) > 1e-12 {
+		t.Errorf("|Spearman| of reversed pair = %v, want 1", got)
+	}
+}
+
+func TestAbsPearsonVecEdgeCases(t *testing.T) {
+	if got := AbsPearsonVec([]float64{1}, []float64{1}); got != 0 {
+		t.Errorf("single sample = %v", got)
+	}
+	if got := AbsPearsonVec([]float64{1, 2}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("length mismatch = %v", got)
+	}
+	if got := AbsPearsonVec([]float64{1, 1, 1}, []float64{1, 2, 3}); got != 0 {
+		t.Errorf("constant vector = %v", got)
+	}
+}
+
+func matrixFromCols(t *testing.T, cols [][]float64) *gene.Matrix {
+	t.Helper()
+	ids := make([]gene.ID, len(cols))
+	for i := range ids {
+		ids[i] = gene.ID(i)
+	}
+	m, err := gene.NewMatrix(0, ids, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

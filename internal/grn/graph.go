@@ -1,0 +1,190 @@
+// Package grn models gene regulatory networks as probabilistic graphs
+// (Definition 3) and implements the inference measures the paper evaluates:
+// the randomized IM-GRN edge probability of Definition 2 (both Monte Carlo
+// and an analytic permutation-null approximation), the classical absolute
+// Pearson Correlation relevance networks, partial correlation (pCorr,
+// Appendix H), and a mutual-information scorer (the future-work measure of
+// Section 2.2). It also provides the edge inference pruning (Lemma 3/4) and
+// graph existence pruning (Lemma 5).
+package grn
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/imgrn/imgrn/internal/gene"
+)
+
+// Edge is an undirected probabilistic edge between vertex indices S < T
+// with existence probability P (Definition 3).
+type Edge struct {
+	S, T int
+	P    float64
+}
+
+// Graph is a probabilistic GRN: vertices labelled with gene IDs and
+// undirected edges carrying existence probabilities in [0, 1).
+type Graph struct {
+	genes []gene.ID
+	adj   []map[int]float64 // adj[s][t] = P for every edge {s,t}
+	edges int
+}
+
+// NewGraph returns a graph with the given vertex labels and no edges.
+func NewGraph(genes []gene.ID) *Graph {
+	g := &Graph{
+		genes: append([]gene.ID(nil), genes...),
+		adj:   make([]map[int]float64, len(genes)),
+	}
+	return g
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.genes) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Gene returns the gene ID labelling vertex s.
+func (g *Graph) Gene(s int) gene.ID { return g.genes[s] }
+
+// Genes returns the vertex labels; callers must not mutate.
+func (g *Graph) Genes() []gene.ID { return g.genes }
+
+// SetEdge inserts or updates the undirected edge {s, t} with probability p.
+// Self-loops are rejected: a gene does not regulate itself in this model.
+func (g *Graph) SetEdge(s, t int, p float64) {
+	if s == t {
+		panic("grn: self-loop")
+	}
+	if g.adj[s] == nil {
+		g.adj[s] = make(map[int]float64)
+	}
+	if g.adj[t] == nil {
+		g.adj[t] = make(map[int]float64)
+	}
+	if _, exists := g.adj[s][t]; !exists {
+		g.edges++
+	}
+	g.adj[s][t] = p
+	g.adj[t][s] = p
+}
+
+// EdgeProb returns the existence probability of edge {s, t} and whether the
+// edge is present.
+func (g *Graph) EdgeProb(s, t int) (float64, bool) {
+	if g.adj[s] == nil {
+		return 0, false
+	}
+	p, ok := g.adj[s][t]
+	return p, ok
+}
+
+// HasEdge reports whether edge {s, t} exists.
+func (g *Graph) HasEdge(s, t int) bool {
+	_, ok := g.EdgeProb(s, t)
+	return ok
+}
+
+// Degree returns the number of edges incident to vertex s.
+func (g *Graph) Degree(s int) int { return len(g.adj[s]) }
+
+// Neighbors returns the sorted neighbor indices of vertex s.
+func (g *Graph) Neighbors(s int) []int {
+	out := make([]int, 0, len(g.adj[s]))
+	for t := range g.adj[s] {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges with S < T, sorted by (S, T).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for s, nb := range g.adj {
+		for t, p := range nb {
+			if s < t {
+				out = append(out, Edge{S: s, T: t, P: p})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].S != out[j].S {
+			return out[i].S < out[j].S
+		}
+		return out[i].T < out[j].T
+	})
+	return out
+}
+
+// MaxDegreeVertex returns the vertex with the highest degree, the traversal
+// start the query algorithm uses for pruning power (Fig. 4, line 2). Ties
+// break toward the smaller index. It returns -1 for an empty graph.
+func (g *Graph) MaxDegreeVertex() int {
+	best, bestDeg := -1, -1
+	for s := range g.genes {
+		if d := g.Degree(s); d > bestDeg {
+			best, bestDeg = s, d
+		}
+	}
+	return best
+}
+
+// Connected reports whether the graph is connected (query extraction in
+// Section 6.1 requires connected query GRNs). The empty graph is connected.
+func (g *Graph) Connected() bool {
+	n := g.NumVertices()
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	visited := 1
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for t := range g.adj[s] {
+			if !seen[t] {
+				seen[t] = true
+				visited++
+				stack = append(stack, t)
+			}
+		}
+	}
+	return visited == n
+}
+
+// AppearanceProbability returns Pr{G} of Eq. (3): the product of the edge
+// existence probabilities of the edges selected by sel (pairs of vertex
+// indices). It returns an error if a selected edge is absent.
+func (g *Graph) AppearanceProbability(sel []Edge) (float64, error) {
+	pr := 1.0
+	for _, e := range sel {
+		p, ok := g.EdgeProb(e.S, e.T)
+		if !ok {
+			return 0, fmt.Errorf("grn: edge {%d,%d} not present", e.S, e.T)
+		}
+		pr *= p
+	}
+	return pr, nil
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph(g.genes)
+	for s, nb := range g.adj {
+		for t, p := range nb {
+			if s < t {
+				c.SetEdge(s, t, p)
+			}
+		}
+	}
+	return c
+}
+
+// String renders a compact description for logs and tests.
+func (g *Graph) String() string {
+	return fmt.Sprintf("GRN{V=%d, E=%d}", g.NumVertices(), g.NumEdges())
+}

@@ -1,0 +1,156 @@
+package grn
+
+import (
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/gene"
+)
+
+func triangle() *Graph {
+	g := NewGraph([]gene.ID{1, 2, 3})
+	g.SetEdge(0, 1, 0.9)
+	g.SetEdge(1, 2, 0.8)
+	g.SetEdge(0, 2, 0.7)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := triangle()
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("shape: V=%d E=%d", g.NumVertices(), g.NumEdges())
+	}
+	if p, ok := g.EdgeProb(1, 0); !ok || p != 0.9 {
+		t.Errorf("EdgeProb(1,0) = %v,%v", p, ok)
+	}
+	if _, ok := g.EdgeProb(0, 0); ok {
+		t.Error("self edge should not exist")
+	}
+	if !g.HasEdge(2, 1) {
+		t.Error("undirected edge missing")
+	}
+	if g.Gene(2) != 3 {
+		t.Errorf("Gene(2) = %d", g.Gene(2))
+	}
+}
+
+func TestSetEdgeUpdatesInPlace(t *testing.T) {
+	g := NewGraph([]gene.ID{1, 2})
+	g.SetEdge(0, 1, 0.5)
+	g.SetEdge(0, 1, 0.6)
+	if g.NumEdges() != 1 {
+		t.Errorf("edge count after update = %d", g.NumEdges())
+	}
+	if p, _ := g.EdgeProb(0, 1); p != 0.6 {
+		t.Errorf("updated prob = %v", p)
+	}
+}
+
+func TestSetEdgePanicsOnSelfLoop(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGraph([]gene.ID{1}).SetEdge(0, 0, 0.5)
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := NewGraph([]gene.ID{1, 2, 3, 4})
+	g.SetEdge(2, 0, 0.5)
+	g.SetEdge(2, 3, 0.5)
+	g.SetEdge(2, 1, 0.5)
+	nb := g.Neighbors(2)
+	if len(nb) != 3 || nb[0] != 0 || nb[1] != 1 || nb[2] != 3 {
+		t.Errorf("Neighbors = %v", nb)
+	}
+	if g.Degree(2) != 3 || g.Degree(0) != 1 {
+		t.Error("degrees wrong")
+	}
+}
+
+func TestEdgesSortedCanonical(t *testing.T) {
+	g := triangle()
+	es := g.Edges()
+	if len(es) != 3 {
+		t.Fatalf("len = %d", len(es))
+	}
+	for i, e := range es {
+		if e.S >= e.T {
+			t.Errorf("edge %d not canonical: %+v", i, e)
+		}
+		if i > 0 && (es[i-1].S > e.S || (es[i-1].S == e.S && es[i-1].T > e.T)) {
+			t.Error("edges not sorted")
+		}
+	}
+}
+
+func TestMaxDegreeVertex(t *testing.T) {
+	g := NewGraph([]gene.ID{1, 2, 3, 4})
+	if g.MaxDegreeVertex() != 0 {
+		t.Error("empty graph should pick vertex 0")
+	}
+	g.SetEdge(1, 2, 0.5)
+	g.SetEdge(1, 3, 0.5)
+	g.SetEdge(2, 3, 0.5)
+	g.SetEdge(1, 0, 0.5)
+	if got := g.MaxDegreeVertex(); got != 1 {
+		t.Errorf("MaxDegreeVertex = %d, want 1", got)
+	}
+	if NewGraph(nil).MaxDegreeVertex() != -1 {
+		t.Error("empty graph should return -1")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := NewGraph([]gene.ID{1, 2, 3})
+	if g.Connected() {
+		t.Error("3 isolated vertices are not connected")
+	}
+	g.SetEdge(0, 1, 0.5)
+	if g.Connected() {
+		t.Error("still disconnected")
+	}
+	g.SetEdge(1, 2, 0.5)
+	if !g.Connected() {
+		t.Error("path graph is connected")
+	}
+	if !NewGraph(nil).Connected() || !NewGraph([]gene.ID{1}).Connected() {
+		t.Error("empty and singleton graphs are connected")
+	}
+}
+
+func TestAppearanceProbability(t *testing.T) {
+	g := triangle()
+	p, err := g.AppearanceProbability([]Edge{{S: 0, T: 1}, {S: 1, T: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.9 * 0.8; p < want-1e-12 || p > want+1e-12 {
+		t.Errorf("Pr = %v, want %v", p, want)
+	}
+	if _, err := g.AppearanceProbability([]Edge{{S: 0, T: 1}, {S: 2, T: 0}, {S: 1, T: 0}}); err != nil {
+		t.Error("reversed edge selector should be accepted")
+	}
+	g2 := NewGraph([]gene.ID{1, 2})
+	if _, err := g2.AppearanceProbability([]Edge{{S: 0, T: 1}}); err == nil {
+		t.Error("missing edge should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := triangle()
+	c := g.Clone()
+	c.SetEdge(0, 1, 0.1)
+	if p, _ := g.EdgeProb(0, 1); p != 0.9 {
+		t.Error("Clone aliases the original")
+	}
+	if c.NumEdges() != g.NumEdges() {
+		t.Error("clone edge count wrong")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	if s := triangle().String(); s != "GRN{V=3, E=3}" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,231 @@
+package grn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/stats"
+	"github.com/imgrn/imgrn/internal/vecmath"
+)
+
+// testMatrix builds a matrix whose columns have known relationships:
+// col1 = col0 scaled, col2 = −col0, col3 independent noise.
+func testMatrix(t *testing.T, l int, seed uint64) *gene.Matrix {
+	t.Helper()
+	rng := randgen.New(seed)
+	base := make([]float64, l)
+	noise := make([]float64, l)
+	for i := 0; i < l; i++ {
+		base[i] = rng.Gaussian(0, 1)
+		noise[i] = rng.Gaussian(0, 1)
+	}
+	scaled := make([]float64, l)
+	neg := make([]float64, l)
+	for i, v := range base {
+		scaled[i] = 2*v + 1
+		neg[i] = -v
+	}
+	m, err := gene.NewMatrix(0, []gene.ID{0, 1, 2, 3}, [][]float64{base, scaled, neg, noise})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCorrelationScorer(t *testing.T) {
+	m := testMatrix(t, 50, 1)
+	sc := CorrelationScorer{}
+	if err := sc.Prepare(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Score(m, 0, 1); math.Abs(got-1) > 1e-9 {
+		t.Errorf("|cor(x, 2x+1)| = %v, want 1", got)
+	}
+	if got := sc.Score(m, 0, 2); math.Abs(got-1) > 1e-9 {
+		t.Errorf("|cor(x, -x)| = %v, want 1", got)
+	}
+	if got := sc.Score(m, 0, 3); got > 0.4 {
+		t.Errorf("|cor(x, noise)| = %v, want small", got)
+	}
+	if sc.Name() != "Correlation" {
+		t.Errorf("Name = %q", sc.Name())
+	}
+}
+
+func TestRandomizedScorerTwoSidedCreditsNegatives(t *testing.T) {
+	m := testMatrix(t, 30, 2)
+	sc := NewRandomizedScorer(7, 400)
+	if got := sc.Score(m, 0, 2); got < 0.95 {
+		t.Errorf("two-sided score of anti-correlated pair = %v, want ≈ 1", got)
+	}
+	one := NewRandomizedScorer(7, 400)
+	one.OneSided = true
+	if got := one.Score(m, 0, 2); got > 0.05 {
+		t.Errorf("one-sided score of anti-correlated pair = %v, want ≈ 0", got)
+	}
+	if got := one.Score(m, 0, 1); got < 0.95 {
+		t.Errorf("one-sided score of correlated pair = %v, want ≈ 1", got)
+	}
+}
+
+func TestRandomizedScorerUninformativeColumn(t *testing.T) {
+	m, err := gene.NewMatrix(0, []gene.ID{0, 1}, [][]float64{{1, 1, 1}, {1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewRandomizedScorer(1, 100)
+	if got := sc.Score(m, 0, 1); got != 0 {
+		t.Errorf("score with constant column = %v, want 0", got)
+	}
+}
+
+func TestAnalyticScorerAgreesWithExact(t *testing.T) {
+	rng := randgen.New(3)
+	// Longer vectors make the normal approximation accurate; compare
+	// against high-budget Monte Carlo.
+	l := 60
+	cols := make([][]float64, 2)
+	base := make([]float64, l)
+	for i := range base {
+		base[i] = rng.Gaussian(0, 1)
+	}
+	mixed := make([]float64, l)
+	for i := range mixed {
+		mixed[i] = 0.5*base[i] + rng.Gaussian(0, 1)
+	}
+	cols[0], cols[1] = base, mixed
+	m, err := gene.NewMatrix(0, []gene.ID{0, 1}, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := AnalyticScorer{}
+	mc := NewRandomizedScorer(4, 20000)
+	if a, b := an.Score(m, 0, 1), mc.Score(m, 0, 1); math.Abs(a-b) > 0.05 {
+		t.Errorf("analytic %v vs MC %v", a, b)
+	}
+	anOne := AnalyticScorer{OneSided: true}
+	mcOne := NewRandomizedScorer(4, 20000)
+	mcOne.OneSided = true
+	if a, b := anOne.Score(m, 0, 1), mcOne.Score(m, 0, 1); math.Abs(a-b) > 0.05 {
+		t.Errorf("one-sided analytic %v vs MC %v", a, b)
+	}
+}
+
+func TestAnalyticScorerBounds(t *testing.T) {
+	m := testMatrix(t, 40, 5)
+	an := AnalyticScorer{}
+	for s := 0; s < 4; s++ {
+		for u := s + 1; u < 4; u++ {
+			p := an.Score(m, s, u)
+			if p < 0 || p > 1 {
+				t.Errorf("score(%d,%d) = %v out of [0,1]", s, u, p)
+			}
+		}
+	}
+}
+
+func TestPartialCorrScorerChain(t *testing.T) {
+	rng := randgen.New(6)
+	l := 3000
+	x := make([]float64, l)
+	y := make([]float64, l)
+	z := make([]float64, l)
+	for i := 0; i < l; i++ {
+		x[i] = rng.Gaussian(0, 1)
+		y[i] = 0.9*x[i] + rng.Gaussian(0, 0.3)
+		z[i] = 0.9*y[i] + rng.Gaussian(0, 0.3)
+	}
+	m, err := gene.NewMatrix(0, []gene.ID{0, 1, 2}, [][]float64{x, y, z})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &PartialCorrScorer{Ridge: 1e-6}
+	if err := sc.Prepare(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Score(m, 0, 2); got > 0.15 {
+		t.Errorf("pcor(x,z|y) = %v, want ≈ 0 (chain)", got)
+	}
+	if got := sc.Score(m, 0, 1); got < 0.5 {
+		t.Errorf("pcor(x,y|z) = %v, want strong", got)
+	}
+}
+
+func TestPartialCorrScorerAutoPrepares(t *testing.T) {
+	m := testMatrix(t, 40, 7)
+	sc := &PartialCorrScorer{Ridge: 1e-2}
+	// Score without explicit Prepare should self-prepare.
+	if got := sc.Score(m, 0, 1); got <= 0 {
+		t.Errorf("self-prepared score = %v", got)
+	}
+}
+
+func TestMutualInfoScorer(t *testing.T) {
+	rng := randgen.New(8)
+	l := 400
+	x := make([]float64, l)
+	dep := make([]float64, l)
+	indep := make([]float64, l)
+	for i := 0; i < l; i++ {
+		x[i] = rng.Gaussian(0, 1)
+		dep[i] = x[i] * x[i] // strong nonlinear (zero-correlation) relation
+		indep[i] = rng.Gaussian(0, 1)
+	}
+	m, err := gene.NewMatrix(0, []gene.ID{0, 1, 2}, [][]float64{x, dep, indep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &MutualInfoScorer{}
+	depScore := sc.Score(m, 0, 1)
+	indepScore := sc.Score(m, 0, 2)
+	if depScore <= indepScore {
+		t.Errorf("MI(x, x²) = %v should exceed MI(x, noise) = %v", depScore, indepScore)
+	}
+	// The nonlinear dependence is invisible to correlation but not MI.
+	if c := (CorrelationScorer{}).Score(m, 0, 1); c > 0.3 {
+		t.Logf("note: |cor|(x, x²) = %v", c)
+	}
+	if depScore < 0.3 {
+		t.Errorf("MI score of deterministic relation too low: %v", depScore)
+	}
+}
+
+func TestMutualInfoShortVector(t *testing.T) {
+	m, err := gene.NewMatrix(0, []gene.ID{0, 1}, [][]float64{{1, 2}, {2, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (&MutualInfoScorer{}).Score(m, 0, 1); got != 0 {
+		t.Errorf("MI on l=2 = %v, want 0", got)
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	names := map[string]Scorer{
+		"IM-GRN":           NewRandomizedScorer(1, 10),
+		"IM-GRN(analytic)": AnalyticScorer{},
+		"Correlation":      CorrelationScorer{},
+		"pCorr":            &PartialCorrScorer{},
+		"MI":               &MutualInfoScorer{},
+	}
+	for want, sc := range names {
+		if got := sc.Name(); got != want {
+			t.Errorf("Name = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestRandomizedScorerMatchesStatsEstimator pins the scorer to the
+// underlying estimator semantics.
+func TestRandomizedScorerMatchesStatsEstimator(t *testing.T) {
+	m := testMatrix(t, 6, 9)
+	exact := stats.ExactAbsEdgeProbability(m.StdCol(0), m.StdCol(3))
+	sc := NewRandomizedScorer(10, 20000)
+	if got := sc.Score(m, 0, 3); math.Abs(got-exact) > 0.03 {
+		t.Errorf("scorer %v vs exact %v", got, exact)
+	}
+}
+
+var _ = vecmath.Dot // keep import for helper extensions

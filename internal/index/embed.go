@@ -1,0 +1,98 @@
+package index
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/pivot"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/stats"
+)
+
+// embedResult is the per-matrix product of the offline embedding phase.
+type embedResult struct {
+	emb  *pivot.Embedding
+	cost float64
+}
+
+// embedAll runs pivot selection and Monte Carlo embedding for every matrix,
+// fanning the work across opts.Workers goroutines. Each matrix's randomness
+// derives from (opts.Seed, m.Source) alone, so the result is bit-identical
+// for any worker count.
+func embedAll(db *gene.Database, opts Options) ([]embedResult, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > db.Len() && db.Len() > 0 {
+		workers = db.Len()
+	}
+	results := make([]embedResult, db.Len())
+	errs := make([]error, db.Len())
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= db.Len() {
+					return
+				}
+				m := db.Matrix(i)
+				if m.NumGenes() == 0 {
+					continue
+				}
+				emb, cost, err := embedOne(m, opts)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = embedResult{emb: emb, cost: cost}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// embedOne selects pivots and embeds one matrix with source-derived
+// deterministic randomness.
+func embedOne(m *gene.Matrix, opts Options) (*pivot.Embedding, float64, error) {
+	srcMix := uint64(int64(m.Source))*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
+	rng := randgen.New(opts.Seed ^ srcMix ^ 0x5ee0d1a2c3b4f687)
+	est := stats.NewEstimator(opts.Seed ^ srcMix ^ 0x1d872f3a9cbe5041)
+
+	var pivots []int
+	if opts.RandomPivots {
+		d := opts.D
+		if m.NumGenes() < d {
+			pivots = make([]int, d)
+			for i := range pivots {
+				pivots[i] = i % m.NumGenes()
+			}
+		} else {
+			pivots = rng.SampleWithoutReplacement(m.NumGenes(), d)
+		}
+	} else {
+		pivots = pivot.SelectPivots(m, opts.D, opts.Selection, rng)
+	}
+	cost := pivot.Cost(m, pivots)
+	emb, err := pivot.Embed(m, pivots, est, opts.Samples)
+	if err != nil {
+		return nil, 0, fmt.Errorf("index: embedding source %d: %w", m.Source, err)
+	}
+	return emb, cost, nil
+}

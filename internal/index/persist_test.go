@@ -1,0 +1,168 @@
+package index
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := smallDataset(t, 20, 50)
+	built, err := Build(ds.DB, Options{D: 2, Samples: 32, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, ds.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Tree().Size() != built.Tree().Size() {
+		t.Errorf("tree size %d != %d", loaded.Tree().Size(), built.Tree().Size())
+	}
+	if loaded.D() != built.D() || loaded.Bits() != built.Bits() {
+		t.Error("options not preserved")
+	}
+	for _, m := range ds.DB.Matrices() {
+		be := built.Embedding(m.Source)
+		le := loaded.Embedding(m.Source)
+		if le == nil {
+			t.Fatalf("embedding for source %d lost", m.Source)
+		}
+		for j := range be.X {
+			for r := range be.X[j] {
+				if be.X[j][r] != le.X[j][r] || be.Y[j][r] != le.Y[j][r] {
+					t.Fatalf("embedding coords differ at source %d gene %d pivot %d", m.Source, j, r)
+				}
+			}
+		}
+		for r := range be.PivotIdx {
+			if be.PivotIdx[r] != le.PivotIdx[r] {
+				t.Fatal("pivot indices differ")
+			}
+		}
+	}
+	if msg := loaded.Tree().CheckInvariants(); msg != "" {
+		t.Errorf("loaded tree invariants: %s", msg)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	ds := smallDataset(t, 8, 51)
+	built, err := Build(ds.DB, Options{D: 1, Samples: 16, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "idx.imgrn")
+	if err := built.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path, ds.DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats().Vectors != built.Stats().Vectors {
+		t.Error("vector count differs after file round trip")
+	}
+}
+
+func TestLoadBadMagic(t *testing.T) {
+	ds := smallDataset(t, 2, 52)
+	if _, err := Load(bytes.NewReader([]byte("NOTANIDXnnnnnnnnnnnn")), ds.DB); err == nil {
+		t.Error("bad magic should fail")
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	ds := smallDataset(t, 5, 53)
+	built, err := Build(ds.DB, Options{D: 1, Samples: 8, Seed: 53})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Load(bytes.NewReader(data[:len(data)/3]), ds.DB); err == nil {
+		t.Error("truncated index should fail")
+	}
+}
+
+func TestLoadWrongDatabase(t *testing.T) {
+	ds := smallDataset(t, 5, 54)
+	built, err := Build(ds.DB, Options{D: 1, Samples: 8, Seed: 54})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := smallDataset(t, 3, 999) // different sources/shapes
+	if _, err := Load(&buf, other.DB); err == nil {
+		t.Error("index over a different database should be rejected")
+	}
+}
+
+// TestBuildDeterministicAcrossWorkers: worker count must not change the
+// built index.
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	ds := smallDataset(t, 15, 55)
+	serial, err := Build(ds.DB, Options{D: 2, Samples: 16, Seed: 55, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Build(ds.DB, Options{D: 2, Samples: 16, Seed: 55, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ds.DB.Matrices() {
+		se := serial.Embedding(m.Source)
+		pe := parallel.Embedding(m.Source)
+		for j := range se.X {
+			for r := range se.X[j] {
+				if se.X[j][r] != pe.X[j][r] || se.Y[j][r] != pe.Y[j][r] {
+					t.Fatalf("embeddings differ between worker counts (source %d)", m.Source)
+				}
+			}
+		}
+	}
+	if serial.Tree().Size() != parallel.Tree().Size() {
+		t.Error("tree sizes differ between worker counts")
+	}
+}
+
+// TestLoadCorruptEmbeddingSection: header claims more sources than the
+// stream carries, or a gene count beyond the cap — both must fail cleanly.
+func TestLoadCorruptEmbeddingSection(t *testing.T) {
+	ds := smallDataset(t, 3, 56)
+	built, err := Build(ds.DB, Options{D: 1, Samples: 8, Seed: 56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := built.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Bump the source count in the header (offset: 8 magic + 5*4 header
+	// words; count is the 6th uint32).
+	mutated := append([]byte(nil), data...)
+	mutated[8+5*4] = 0xEE
+	if _, err := Load(bytes.NewReader(mutated), ds.DB); err == nil {
+		t.Error("inflated source count should fail")
+	}
+	// Corrupt a gene count inside the first embedding record
+	// (offset: header 32 + source int64 = 8 → gene count uint32).
+	mutated2 := append([]byte(nil), data...)
+	mutated2[32+8] = 0xFF
+	mutated2[32+9] = 0xFF
+	mutated2[32+10] = 0xFF
+	if _, err := Load(bytes.NewReader(mutated2), ds.DB); err == nil {
+		t.Error("implausible gene count should fail")
+	}
+}

@@ -1,0 +1,198 @@
+package index
+
+import (
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/bitvec"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/rstar"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// TestAddMatrixMatchesFreshBuild: growing an index incrementally must give
+// the same embeddings and tree contents as building from scratch over the
+// enlarged database.
+func TestAddMatrixMatchesFreshBuild(t *testing.T) {
+	full := smallDataset(t, 12, 60)
+	opts := Options{D: 2, Samples: 24, Seed: 60}
+
+	// Fresh build over all 12 matrices.
+	fresh, err := Build(full.DB, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Incremental: build over the first 9, then add the remaining 3.
+	partial := gene.NewDatabase()
+	for i := 0; i < 9; i++ {
+		if err := partial.Add(full.DB.Matrix(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown, err := Build(partial, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 9; i < 12; i++ {
+		if err := grown.AddMatrix(full.DB.Matrix(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if grown.Tree().Size() != fresh.Tree().Size() {
+		t.Fatalf("tree sizes: grown %d vs fresh %d", grown.Tree().Size(), fresh.Tree().Size())
+	}
+	if msg := grown.Tree().CheckInvariants(); msg != "" {
+		t.Fatalf("grown tree invariants: %s", msg)
+	}
+	for _, m := range full.DB.Matrices() {
+		fe := fresh.Embedding(m.Source)
+		ge := grown.Embedding(m.Source)
+		if ge == nil {
+			t.Fatalf("grown index lacks embedding for %d", m.Source)
+		}
+		for j := range fe.X {
+			for r := range fe.X[j] {
+				if fe.X[j][r] != ge.X[j][r] || fe.Y[j][r] != ge.Y[j][r] {
+					t.Fatalf("embedding differs for source %d (incremental vs fresh)", m.Source)
+				}
+			}
+		}
+	}
+	// Inverted file must cover the new sources.
+	for i := 9; i < 12; i++ {
+		m := full.DB.Matrix(i)
+		for _, g := range m.Genes() {
+			if !grown.Inverted().Sources(g).Test(bitvec.HashSource(m.Source, grown.Bits())) {
+				t.Fatalf("IF missing new source %d", m.Source)
+			}
+		}
+	}
+	// Every node must carry pages and signatures after the inserts.
+	grown.Tree().Walk(func(n *rstar.Node) bool {
+		if n.Pages() == 0 {
+			t.Error("node without pages after AddMatrix")
+		}
+		if n.Aug == nil {
+			t.Error("node without signatures after AddMatrix")
+		}
+		return true
+	})
+}
+
+func TestAddMatrixValidation(t *testing.T) {
+	ds := smallDataset(t, 3, 61)
+	idx, err := Build(ds.DB, Options{D: 1, Samples: 8, Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.AddMatrix(nil); err == nil {
+		t.Error("nil matrix should be rejected")
+	}
+	if err := idx.AddMatrix(ds.DB.Matrix(0)); err == nil {
+		t.Error("duplicate source should be rejected")
+	}
+}
+
+func TestAddMatrixQueryable(t *testing.T) {
+	ds := smallDataset(t, 6, 62)
+	idx, err := Build(ds.DB, Options{D: 2, Samples: 16, Seed: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, err := synth.GenerateDatabase(synth.DBParams{
+		N: 1, NMin: 8, NMax: 8, LMin: 10, LMax: 10,
+		Dist: synth.Uniform, GenePool: 40, Seed: 777,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := extra.DB.Matrix(0)
+	// Re-source to avoid collision.
+	remapped, err := m.SubMatrix(1000, seq(m.NumGenes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.AddMatrix(remapped); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Embedding(1000) == nil {
+		t.Error("embedding for added source missing")
+	}
+	if idx.DB().BySource(1000) == nil {
+		t.Error("database does not contain added source")
+	}
+	idx.Tree().Walk(func(n *rstar.Node) bool {
+		if n.Pages() == 0 {
+			t.Error("node without pages after AddMatrix")
+		}
+		return true
+	})
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestRemoveMatrix removes a source and verifies queries no longer see it
+// while the rest of the index stays intact.
+func TestRemoveMatrix(t *testing.T) {
+	ds := smallDataset(t, 10, 63)
+	idx, err := Build(ds.DB, Options{D: 2, Samples: 16, Seed: 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := ds.DB.Matrix(4).Source
+	removedGenes := ds.DB.BySource(victim).NumGenes()
+	before := idx.Tree().Size()
+	if err := idx.RemoveMatrix(victim); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Tree().Size() != before-removedGenes {
+		t.Errorf("tree size %d, want %d", idx.Tree().Size(), before-removedGenes)
+	}
+	if idx.DB().BySource(victim) != nil {
+		t.Error("database still holds removed source")
+	}
+	if idx.Embedding(victim) != nil {
+		t.Error("embedding still present")
+	}
+	if msg := idx.Tree().CheckInvariants(); msg != "" {
+		t.Errorf("tree invariants after removal: %s", msg)
+	}
+	// No leaf item may reference the removed source.
+	idx.Tree().Walk(func(n *rstar.Node) bool {
+		if n.IsLeaf() {
+			for i := 0; i < n.NumEntries(); i++ {
+				src, _ := UnpackRef(n.Item(i).Ref)
+				if src == victim {
+					t.Error("tree still references removed source")
+				}
+			}
+		}
+		if n.Aug == nil {
+			t.Error("node without signature after removal")
+		}
+		return true
+	})
+	if err := idx.RemoveMatrix(victim); err == nil {
+		t.Error("double removal should error")
+	}
+}
+
+func TestDatabaseRemove(t *testing.T) {
+	ds := smallDataset(t, 3, 64)
+	if !ds.DB.Remove(ds.DB.Matrix(1).Source) {
+		t.Fatal("remove reported not-present")
+	}
+	if ds.DB.Len() != 2 {
+		t.Errorf("len = %d", ds.DB.Len())
+	}
+	if ds.DB.Remove(99999) {
+		t.Error("removed a phantom source")
+	}
+}

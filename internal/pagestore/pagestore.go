@@ -1,0 +1,184 @@
+// Package pagestore simulates the disk layer of the paper's evaluation:
+// fixed-size pages, an allocator that lays objects (index nodes, matrix
+// column ranges) out over page ranges, and an accountant that counts page
+// accesses — the I/O-cost metric of Section 6 — optionally through an LRU
+// buffer pool so that repeated touches of a hot page are absorbed the way a
+// DBMS buffer manager would absorb them.
+package pagestore
+
+import "fmt"
+
+// PageID identifies one fixed-size page.
+type PageID uint64
+
+// DefaultPageSize is the classic 4 KiB database page.
+const DefaultPageSize = 4096
+
+// Stats aggregates I/O accounting.
+type Stats struct {
+	// Accesses is the number of page accesses that went to "disk"
+	// (buffer-pool misses, or every touch when no buffer is configured).
+	Accesses uint64
+	// Hits counts touches absorbed by the buffer pool.
+	Hits uint64
+	// Allocated is the total number of pages handed out.
+	Allocated uint64
+}
+
+// Accountant allocates pages and tracks page accesses, optionally through
+// an LRU buffer pool. The zero value is not usable; call New.
+// Not safe for concurrent use.
+type Accountant struct {
+	pageSize int
+	next     PageID
+	stats    Stats
+	lru      *lruCache // nil means unbuffered: every touch is an access
+}
+
+// New returns an accountant with the given page size and buffer pool
+// capacity in pages (0 disables buffering).
+func New(pageSize, bufferPages int) *Accountant {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	a := &Accountant{pageSize: pageSize, next: 1}
+	if bufferPages > 0 {
+		a.lru = newLRU(bufferPages)
+	}
+	return a
+}
+
+// PageSize returns the configured page size in bytes.
+func (a *Accountant) PageSize() int { return a.pageSize }
+
+// Allocate reserves a contiguous run of pages able to hold n bytes and
+// returns its first PageID along with the page count (at least 1).
+func (a *Accountant) Allocate(n int) (PageID, int) {
+	pages := (n + a.pageSize - 1) / a.pageSize
+	if pages < 1 {
+		pages = 1
+	}
+	id := a.next
+	a.next += PageID(pages)
+	a.stats.Allocated += uint64(pages)
+	return id, pages
+}
+
+// Touch records one access of page id.
+func (a *Accountant) Touch(id PageID) {
+	if a.lru != nil && a.lru.touch(id) {
+		a.stats.Hits++
+		return
+	}
+	a.stats.Accesses++
+}
+
+// TouchRange records an access of each page in [id, id+pages).
+func (a *Accountant) TouchRange(id PageID, pages int) {
+	for k := 0; k < pages; k++ {
+		a.Touch(id + PageID(k))
+	}
+}
+
+// ChargeBytes charges the accesses required to read n bytes starting at
+// the beginning of the object rooted at id.
+func (a *Accountant) ChargeBytes(id PageID, n int) {
+	pages := (n + a.pageSize - 1) / a.pageSize
+	if pages < 1 {
+		pages = 1
+	}
+	a.TouchRange(id, pages)
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Accountant) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the access/hit counters (allocation count is kept) and
+// drops the buffer contents, so per-query I/O can be measured from a cold
+// buffer as the paper does.
+func (a *Accountant) ResetStats() {
+	a.stats.Accesses = 0
+	a.stats.Hits = 0
+	if a.lru != nil {
+		a.lru.reset()
+	}
+}
+
+// String renders the stats for reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("accesses=%d hits=%d allocated=%d", s.Accesses, s.Hits, s.Allocated)
+}
+
+// lruCache is a minimal intrusive LRU set of PageIDs.
+type lruCache struct {
+	capacity int
+	nodes    map[PageID]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+}
+
+type lruNode struct {
+	id         PageID
+	prev, next *lruNode
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{capacity: capacity, nodes: make(map[PageID]*lruNode, capacity)}
+}
+
+// touch returns true when id was already cached (a buffer hit); otherwise
+// it inserts id, evicting the LRU entry if full, and returns false.
+func (c *lruCache) touch(id PageID) bool {
+	if n, ok := c.nodes[id]; ok {
+		c.moveToFront(n)
+		return true
+	}
+	n := &lruNode{id: id}
+	c.nodes[id] = n
+	c.pushFront(n)
+	if len(c.nodes) > c.capacity {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.nodes, evict.id)
+	}
+	return false
+}
+
+func (c *lruCache) reset() {
+	c.nodes = make(map[PageID]*lruNode, c.capacity)
+	c.head, c.tail = nil, nil
+}
+
+func (c *lruCache) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *lruCache) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *lruCache) moveToFront(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,112 @@
+package pagestore
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStoreAppendReadAt(t *testing.T) {
+	acc := New(16, 0)
+	s := NewStore(acc)
+	data := []byte("hello, paged world! 0123456789abcdef tail")
+	id := s.Append(data)
+	if s.Runs() != 1 || s.RunLength(id) != len(data) {
+		t.Fatalf("runs=%d len=%d", s.Runs(), s.RunLength(id))
+	}
+	dst := make([]byte, len(data))
+	if err := s.ReadAt(id, 0, len(data), dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, data) {
+		t.Fatalf("round trip mismatch: %q", dst)
+	}
+	// Whole run spans ceil(41/16) = 3 pages.
+	if got := acc.Stats().Accesses; got != 3 {
+		t.Errorf("full read accesses = %d, want 3", got)
+	}
+}
+
+func TestStorePartialReadCharging(t *testing.T) {
+	acc := New(16, 0)
+	s := NewStore(acc)
+	data := make([]byte, 64) // 4 pages
+	for i := range data {
+		data[i] = byte(i)
+	}
+	id := s.Append(data)
+	acc.ResetStats()
+	dst := make([]byte, 8)
+	// Bytes 20..28 live entirely in page 1.
+	if err := s.ReadAt(id, 20, 8, dst); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Stats().Accesses != 1 {
+		t.Errorf("single-page read charged %d pages", acc.Stats().Accesses)
+	}
+	if dst[0] != 20 || dst[7] != 27 {
+		t.Errorf("partial read bytes wrong: %v", dst)
+	}
+	acc.ResetStats()
+	// Bytes 14..30 straddle pages 0 and 1.
+	if err := s.ReadAt(id, 14, 16, dst[:0:0]); err == nil {
+		t.Error("short destination should error")
+	}
+	big := make([]byte, 16)
+	if err := s.ReadAt(id, 14, 16, big); err != nil {
+		t.Fatal(err)
+	}
+	if acc.Stats().Accesses != 2 {
+		t.Errorf("straddling read charged %d pages, want 2", acc.Stats().Accesses)
+	}
+}
+
+func TestStoreReadErrors(t *testing.T) {
+	acc := New(16, 0)
+	s := NewStore(acc)
+	id := s.Append([]byte("abc"))
+	dst := make([]byte, 8)
+	if err := s.ReadAt(id, 2, 5, dst); err == nil {
+		t.Error("read past run end should error")
+	}
+	if err := s.ReadAt(id, -1, 1, dst); err == nil {
+		t.Error("negative offset should error")
+	}
+	if err := s.ReadAt(id+100, 0, 1, dst); err == nil {
+		t.Error("unknown run should error")
+	}
+	if s.RunLength(id+100) != -1 {
+		t.Error("unknown run length should be -1")
+	}
+}
+
+func TestStoreNamespaceSharedWithAccountant(t *testing.T) {
+	acc := New(16, 0)
+	s := NewStore(acc)
+	nodeID, _ := acc.Allocate(40) // simulate an index node allocation
+	dataID := s.Append(make([]byte, 40))
+	if nodeID == dataID {
+		t.Error("store run collided with direct allocation")
+	}
+	if dataID <= nodeID {
+		t.Error("allocations should be monotone in one namespace")
+	}
+}
+
+func TestStoreEmptyRun(t *testing.T) {
+	acc := New(16, 0)
+	s := NewStore(acc)
+	id := s.Append(nil)
+	dst := make([]byte, 0)
+	if err := s.ReadAt(id, 0, 0, dst); err != nil {
+		t.Errorf("zero-length read: %v", err)
+	}
+}
+
+func TestStorePanicsWithoutAccountant(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStore(nil)
+}

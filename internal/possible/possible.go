@@ -1,0 +1,138 @@
+// Package possible implements the possible-worlds semantics of probabilistic
+// graphs (Section 2.3): a probabilistic GRN with m edges induces 2^m
+// deterministic worlds, each edge existing independently with its
+// probability. The package enumerates worlds exactly for small graphs and
+// samples them for large ones; both are used by tests to validate that the
+// closed-form appearance probability of Eq. (3) matches the possible-worlds
+// definition, and by the examples to explain query confidences.
+package possible
+
+import (
+	"math"
+
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+// MaxEnumerableEdges bounds exact enumeration (2^20 worlds ≈ 1M).
+const MaxEnumerableEdges = 20
+
+// World is one materialized instance: Present[i] tells whether the i-th
+// edge (in g.Edges() order) exists.
+type World struct {
+	Present []bool
+	Prob    float64
+}
+
+// Enumerate yields every possible world of g in canonical bitmask order.
+// It panics when g has more than MaxEnumerableEdges edges.
+func Enumerate(g *grn.Graph, fn func(World)) {
+	edges := g.Edges()
+	m := len(edges)
+	if m > MaxEnumerableEdges {
+		panic("possible: too many edges to enumerate")
+	}
+	present := make([]bool, m)
+	for mask := 0; mask < 1<<uint(m); mask++ {
+		prob := 1.0
+		for i, e := range edges {
+			if mask&(1<<uint(i)) != 0 {
+				present[i] = true
+				prob *= e.P
+			} else {
+				present[i] = false
+				prob *= 1 - e.P
+			}
+		}
+		fn(World{Present: present, Prob: prob})
+	}
+}
+
+// SubgraphProbabilityExact computes Pr{all edges in sel exist} by summing
+// possible-world probabilities (the semantics behind Eq. 3). sel lists
+// vertex pairs that must all be present; pairs not in g have probability 0.
+// Exponential in the edge count of g: use only for validation.
+func SubgraphProbabilityExact(g *grn.Graph, sel []grn.Edge) float64 {
+	edges := g.Edges()
+	need := make([]int, 0, len(sel))
+	for _, want := range sel {
+		found := -1
+		for i, e := range edges {
+			if (e.S == want.S && e.T == want.T) || (e.S == want.T && e.T == want.S) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return 0
+		}
+		need = append(need, found)
+	}
+	var total float64
+	Enumerate(g, func(w World) {
+		for _, i := range need {
+			if !w.Present[i] {
+				return
+			}
+		}
+		total += w.Prob
+	})
+	return total
+}
+
+// SampleWorld draws one world of g using rng.
+func SampleWorld(g *grn.Graph, rng *randgen.Rand) World {
+	edges := g.Edges()
+	present := make([]bool, len(edges))
+	prob := 1.0
+	for i, e := range edges {
+		if rng.Float64() < e.P {
+			present[i] = true
+			prob *= e.P
+		} else {
+			prob *= 1 - e.P
+		}
+	}
+	return World{Present: present, Prob: prob}
+}
+
+// SubgraphProbabilityMC estimates Pr{all edges in sel exist} by sampling
+// worlds. Used to cross-check Eq. (3) on graphs too large to enumerate.
+func SubgraphProbabilityMC(g *grn.Graph, sel []grn.Edge, rng *randgen.Rand, samples int) float64 {
+	edges := g.Edges()
+	need := make([]int, 0, len(sel))
+	for _, want := range sel {
+		found := -1
+		for i, e := range edges {
+			if (e.S == want.S && e.T == want.T) || (e.S == want.T && e.T == want.S) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return 0
+		}
+		need = append(need, found)
+	}
+	hits := 0
+	for k := 0; k < samples; k++ {
+		w := SampleWorld(g, rng)
+		ok := true
+		for _, i := range need {
+			if !w.Present[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// WorldCount returns 2^m as a float64 (exact for m ≤ 52), the size of the
+// possible-world space the pruning framework avoids materializing.
+func WorldCount(g *grn.Graph) float64 {
+	return math.Exp2(float64(g.NumEdges()))
+}

@@ -1,0 +1,138 @@
+package possible
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+func randomGraph(rng *randgen.Rand, n, edges int) *grn.Graph {
+	ids := make([]gene.ID, n)
+	for i := range ids {
+		ids[i] = gene.ID(i)
+	}
+	g := grn.NewGraph(ids)
+	for g.NumEdges() < edges {
+		s := rng.Intn(n)
+		t := rng.Intn(n)
+		if s == t {
+			continue
+		}
+		g.SetEdge(s, t, 0.05+0.9*rng.Float64())
+	}
+	return g
+}
+
+func TestEnumerateCountAndTotalProbability(t *testing.T) {
+	rng := randgen.New(50)
+	f := func(seed uint64) bool {
+		r := randgen.New(seed ^ rng.Uint64())
+		g := randomGraph(r, 4, 1+r.Intn(5))
+		count := 0
+		total := 0.0
+		Enumerate(g, func(w World) {
+			count++
+			total += w.Prob
+		})
+		return count == 1<<uint(g.NumEdges()) && math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumeratePanicsOnLargeGraph(t *testing.T) {
+	rng := randgen.New(51)
+	g := randomGraph(rng, 10, MaxEnumerableEdges+1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Enumerate(g, func(World) {})
+}
+
+// TestEq3MatchesPossibleWorlds is the central semantics check: the paper's
+// closed-form appearance probability (Eq. 3, the product of edge
+// probabilities) equals the possible-worlds sum.
+func TestEq3MatchesPossibleWorlds(t *testing.T) {
+	rng := randgen.New(52)
+	f := func(seed uint64) bool {
+		r := randgen.New(seed ^ rng.Uint64())
+		g := randomGraph(r, 5, 2+r.Intn(5))
+		edges := g.Edges()
+		// Pick a random subset of existing edges.
+		var sel []grn.Edge
+		for _, e := range edges {
+			if r.Float64() < 0.5 {
+				sel = append(sel, e)
+			}
+		}
+		closed, err := g.AppearanceProbability(sel)
+		if err != nil {
+			return false
+		}
+		worlds := SubgraphProbabilityExact(g, sel)
+		return math.Abs(closed-worlds) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubgraphProbabilityMissingEdge(t *testing.T) {
+	g := randomGraph(randgen.New(53), 4, 2)
+	if p := SubgraphProbabilityExact(g, []grn.Edge{{S: 0, T: 3}, {S: 3, T: 0}}); g.HasEdge(0, 3) == false && p != 0 {
+		t.Errorf("missing edge should have probability 0, got %v", p)
+	}
+}
+
+func TestSubgraphProbabilityReversedSelector(t *testing.T) {
+	g := grn.NewGraph([]gene.ID{0, 1})
+	g.SetEdge(0, 1, 0.4)
+	a := SubgraphProbabilityExact(g, []grn.Edge{{S: 0, T: 1}})
+	b := SubgraphProbabilityExact(g, []grn.Edge{{S: 1, T: 0}})
+	if a != b || math.Abs(a-0.4) > 1e-12 {
+		t.Errorf("probabilities: %v vs %v, want 0.4", a, b)
+	}
+}
+
+func TestSampleWorldProbabilityConsistent(t *testing.T) {
+	g := randomGraph(randgen.New(54), 4, 4)
+	rng := randgen.New(55)
+	w := SampleWorld(g, rng)
+	// Recompute the probability of the sampled world from its bits.
+	p := 1.0
+	for i, e := range g.Edges() {
+		if w.Present[i] {
+			p *= e.P
+		} else {
+			p *= 1 - e.P
+		}
+	}
+	if math.Abs(p-w.Prob) > 1e-12 {
+		t.Errorf("sampled world prob %v, recomputed %v", w.Prob, p)
+	}
+}
+
+func TestSubgraphProbabilityMCConvergence(t *testing.T) {
+	g := randomGraph(randgen.New(56), 5, 6)
+	edges := g.Edges()
+	sel := edges[:3]
+	exact := SubgraphProbabilityExact(g, sel)
+	mc := SubgraphProbabilityMC(g, sel, randgen.New(57), 40000)
+	if math.Abs(exact-mc) > 0.02 {
+		t.Errorf("exact %v vs MC %v", exact, mc)
+	}
+}
+
+func TestWorldCount(t *testing.T) {
+	g := randomGraph(randgen.New(58), 4, 5)
+	if got := WorldCount(g); got != 32 {
+		t.Errorf("WorldCount = %v, want 32", got)
+	}
+}

@@ -1,0 +1,200 @@
+// Package randgen provides the deterministic pseudo-random machinery used
+// throughout the IM-GRN system: an xoshiro256** generator seeded via
+// SplitMix64, Gaussian and uniform variates, and Fisher–Yates permutation
+// sampling (the randomization technique behind the paper's edge-probability
+// measure, Definition 2).
+//
+// Every consumer of randomness in this repository threads an explicit *Rand
+// so that data generation, Monte Carlo estimation, and pivot selection are
+// all reproducible from a single seed, which in turn makes the experiment
+// harness deterministic.
+package randgen
+
+import "math"
+
+// Rand is a deterministic pseudo-random generator (xoshiro256**).
+// It is NOT safe for concurrent use; derive per-goroutine generators with
+// Split.
+type Rand struct {
+	s [4]uint64
+	// cached second Gaussian from the polar Box–Muller transform
+	gauss    float64
+	hasGauss bool
+}
+
+// New returns a generator seeded from seed via SplitMix64, so that nearby
+// seeds still produce well-separated state.
+func New(seed uint64) *Rand {
+	var r Rand
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Split derives an independent generator from r, advancing r. It is the
+// mechanism for handing deterministic sub-streams to parallel workers.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Lemire's nearly-divisionless bounded sampling keeps it branch-light.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("randgen: Intn with n <= 0")
+	}
+	un := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, un)
+	if lo < un {
+		thresh := (-un) % un
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = mul64(x, un)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// UniformIn returns a uniform float64 in [lo, hi).
+func (r *Rand) UniformIn(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// IntIn returns a uniform int in [lo, hi] inclusive. It panics if hi < lo.
+func (r *Rand) IntIn(lo, hi int) int {
+	if hi < lo {
+		panic("randgen: IntIn with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// NormFloat64 returns a standard-normal variate via the polar Box–Muller
+// transform (Marsaglia). Consecutive values come in cached pairs.
+func (r *Rand) NormFloat64() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.hasGauss = true
+		return u * f
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (r *Rand) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Shuffle permutes x in place with the Fisher–Yates algorithm.
+func (r *Rand) Shuffle(x []float64) {
+	for i := len(x) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// ShuffleInts permutes x in place with the Fisher–Yates algorithm.
+func (r *Rand) ShuffleInts(x []int) {
+	for i := len(x) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		x[i], x[j] = x[j], x[i]
+	}
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// PermuteInto writes a fresh uniform random permutation of src into dst,
+// the randomized vector X^R of Definition 2. dst and src must have equal
+// length; dst is fully overwritten. No allocation occurs, which matters in
+// the Monte Carlo hot loop.
+func (r *Rand) PermuteInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("randgen: PermuteInto length mismatch")
+	}
+	copy(dst, src)
+	r.Shuffle(dst)
+}
+
+// SampleWithoutReplacement returns k distinct uniform indices from [0, n).
+// It panics if k > n. The result is in selection order (itself uniform).
+func (r *Rand) SampleWithoutReplacement(n, k int) []int {
+	if k > n {
+		panic("randgen: sample size exceeds population")
+	}
+	// Partial Fisher–Yates over an index table.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = idx[i]
+	}
+	return out
+}

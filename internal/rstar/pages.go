@@ -1,0 +1,159 @@
+package rstar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/imgrn/imgrn/internal/pagestore"
+)
+
+// On-page node layout (little-endian), one page run per node:
+//
+//	level   int32
+//	leaf    uint8
+//	count   int32
+//	entries:
+//	  leaf:     point (k × float64), ref (uint64)
+//	  internal: mbr (2k × float64), child base PageID (uint64)
+//
+// MarshalPages writes the whole tree bottom-up (children first, so parent
+// entries can reference their children's page runs) and returns the root's
+// base PageID. UnmarshalPages reads it back through the store, charging
+// page accesses — a faithful persistent representation of the index layout
+// Section 5.1 describes.
+
+const nodeHeaderBytes = 4 + 1 + 4
+
+// MarshalPages serializes the tree into the store and returns the root's
+// base PageID.
+func (t *Tree) MarshalPages(store *pagestore.Store) (pagestore.PageID, error) {
+	if store.PageSize() < nodeHeaderBytes+t.dim*8+8 {
+		return 0, fmt.Errorf("rstar: page size %d too small for dim %d", store.PageSize(), t.dim)
+	}
+	return t.marshalNode(store, t.root)
+}
+
+func (t *Tree) marshalNode(store *pagestore.Store, n *Node) (pagestore.PageID, error) {
+	childIDs := make([]pagestore.PageID, len(n.entries))
+	if !n.leaf {
+		for i := range n.entries {
+			id, err := t.marshalNode(store, n.entries[i].child)
+			if err != nil {
+				return 0, err
+			}
+			childIDs[i] = id
+		}
+	}
+	var entryBytes int
+	if n.leaf {
+		entryBytes = t.dim*8 + 8
+	} else {
+		entryBytes = 2*t.dim*8 + 8
+	}
+	buf := make([]byte, nodeHeaderBytes+len(n.entries)*entryBytes)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(n.level))
+	if n.leaf {
+		buf[4] = 1
+	}
+	binary.LittleEndian.PutUint32(buf[5:], uint32(len(n.entries)))
+	off := nodeHeaderBytes
+	for i := range n.entries {
+		e := &n.entries[i]
+		if n.leaf {
+			for _, v := range e.item.Point {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+				off += 8
+			}
+			binary.LittleEndian.PutUint64(buf[off:], e.item.Ref)
+			off += 8
+		} else {
+			for d := 0; d < t.dim; d++ {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.mbr.Min[d]))
+				off += 8
+			}
+			for d := 0; d < t.dim; d++ {
+				binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.mbr.Max[d]))
+				off += 8
+			}
+			binary.LittleEndian.PutUint64(buf[off:], uint64(childIDs[i]))
+			off += 8
+		}
+	}
+	return store.Append(buf), nil
+}
+
+// UnmarshalPages reconstructs a tree from the store, reading every node
+// through the (access-charged) page interface.
+func UnmarshalPages(store *pagestore.Store, root pagestore.PageID, cfg Config) (*Tree, error) {
+	t, err := NewTree(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n, size, err := t.unmarshalNode(store, root)
+	if err != nil {
+		return nil, err
+	}
+	t.root = n
+	t.size = size
+	return t, nil
+}
+
+func (t *Tree) unmarshalNode(store *pagestore.Store, id pagestore.PageID) (*Node, int, error) {
+	length := store.RunLength(id)
+	if length < nodeHeaderBytes {
+		return nil, 0, fmt.Errorf("rstar: node run %d has %d bytes", id, length)
+	}
+	buf := make([]byte, length)
+	if err := store.ReadAt(id, 0, length, buf); err != nil {
+		return nil, 0, err
+	}
+	level := int(int32(binary.LittleEndian.Uint32(buf[0:])))
+	leaf := buf[4] == 1
+	count := int(binary.LittleEndian.Uint32(buf[5:]))
+	var entryBytes int
+	if leaf {
+		entryBytes = t.dim*8 + 8
+	} else {
+		entryBytes = 2*t.dim*8 + 8
+	}
+	if count < 0 || nodeHeaderBytes+count*entryBytes > length {
+		return nil, 0, fmt.Errorf("rstar: node run %d corrupt (count %d, %d bytes)", id, count, length)
+	}
+	n := t.newNode(leaf, level)
+	off := nodeHeaderBytes
+	size := 0
+	for i := 0; i < count; i++ {
+		if leaf {
+			pt := make([]float64, t.dim)
+			for d := range pt {
+				pt[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			ref := binary.LittleEndian.Uint64(buf[off:])
+			off += 8
+			n.entries = append(n.entries, entry{mbr: NewRect(pt), item: Item{Point: pt, Ref: ref}})
+			size++
+		} else {
+			mbr := EmptyRect(t.dim)
+			for d := 0; d < t.dim; d++ {
+				mbr.Min[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			for d := 0; d < t.dim; d++ {
+				mbr.Max[d] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			childID := pagestore.PageID(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			child, childSize, err := t.unmarshalNode(store, childID)
+			if err != nil {
+				return nil, 0, err
+			}
+			size += childSize
+			n.entries = append(n.entries, entry{mbr: mbr, child: child})
+		}
+	}
+	n.recomputeMBR()
+	return n, size, nil
+}

@@ -1,0 +1,91 @@
+package rstar
+
+import (
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/pagestore"
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+func TestMarshalPagesRoundTrip(t *testing.T) {
+	rng := randgen.New(300)
+	tree, _ := NewTree(Config{Dim: 3, MaxFill: 8})
+	items := randomItems(rng, 400, 3)
+	if err := tree.BulkLoad(items); err != nil {
+		t.Fatal(err)
+	}
+	acc := pagestore.New(512, 0)
+	store := pagestore.NewStore(acc)
+	root, err := tree.MarshalPages(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Runs() != tree.NodeCount() {
+		t.Errorf("stored %d runs for %d nodes", store.Runs(), tree.NodeCount())
+	}
+	acc.ResetStats()
+	got, err := UnmarshalPages(store, root, Config{Dim: 3, MaxFill: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Stats().Accesses == 0 {
+		t.Error("unmarshal performed no page reads")
+	}
+	if got.Size() != tree.Size() || got.Height() != tree.Height() {
+		t.Fatalf("shape changed: size %d→%d height %d→%d",
+			tree.Size(), got.Size(), tree.Height(), got.Height())
+	}
+	if msg := got.CheckInvariants(); msg != "" {
+		t.Fatalf("round-tripped invariants: %s", msg)
+	}
+	// Searches agree on random ranges.
+	for q := 0; q < 30; q++ {
+		lo := []float64{rng.UniformIn(-100, 50), rng.UniformIn(-100, 50), rng.UniformIn(-100, 50)}
+		hi := []float64{lo[0] + rng.UniformIn(0, 90), lo[1] + rng.UniformIn(0, 90), lo[2] + rng.UniformIn(0, 90)}
+		r := Rect{Min: lo, Max: hi}
+		if !sameRefs(searchSet(tree, r), searchSet(got, r)) {
+			t.Fatalf("query %d: search results differ after round trip", q)
+		}
+	}
+}
+
+func TestMarshalPagesEmptyTree(t *testing.T) {
+	tree, _ := NewTree(Config{Dim: 2})
+	store := pagestore.NewStore(pagestore.New(256, 0))
+	root, err := tree.MarshalPages(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPages(store, root, Config{Dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 0 {
+		t.Errorf("empty tree size = %d", got.Size())
+	}
+}
+
+func TestMarshalPagesTooSmallPage(t *testing.T) {
+	tree, _ := NewTree(Config{Dim: 8})
+	small := pagestore.NewStore(pagestore.New(16, 0))
+	if _, err := tree.MarshalPages(small); err == nil {
+		t.Error("tiny pages should be rejected")
+	}
+}
+
+func TestUnmarshalPagesCorruptRun(t *testing.T) {
+	store := pagestore.NewStore(pagestore.New(256, 0))
+	// A run too short to be a node header.
+	id := store.Append([]byte{1, 2})
+	if _, err := UnmarshalPages(store, id, Config{Dim: 2}); err == nil {
+		t.Error("short run should fail")
+	}
+	// A header advertising more entries than the run holds.
+	bad := make([]byte, nodeHeaderBytes)
+	bad[4] = 1 // leaf
+	bad[5] = 200
+	id2 := store.Append(bad)
+	if _, err := UnmarshalPages(store, id2, Config{Dim: 2}); err == nil {
+		t.Error("overlong count should fail")
+	}
+}

@@ -1,0 +1,133 @@
+package rstar
+
+import (
+	"math"
+	"testing"
+)
+
+func rect(min, max []float64) Rect { return Rect{Min: min, Max: max} }
+
+func TestNewRectDegenerate(t *testing.T) {
+	r := NewRect([]float64{1, 2})
+	if r.Area() != 0 {
+		t.Errorf("point rect area = %v", r.Area())
+	}
+	if !r.ContainsPoint([]float64{1, 2}) {
+		t.Error("point rect should contain its point")
+	}
+}
+
+func TestEmptyRectIsUnionIdentity(t *testing.T) {
+	e := EmptyRect(2)
+	r := rect([]float64{1, 2}, []float64{3, 4})
+	u := Union(e, r)
+	for i := 0; i < 2; i++ {
+		if u.Min[i] != r.Min[i] || u.Max[i] != r.Max[i] {
+			t.Fatalf("union with empty changed rect: %v", u)
+		}
+	}
+}
+
+func TestExpand(t *testing.T) {
+	r := NewRect([]float64{0, 0})
+	r.ExpandPoint([]float64{2, -1})
+	if r.Min[1] != -1 || r.Max[0] != 2 {
+		t.Errorf("after expand: %v", r)
+	}
+	r.ExpandRect(rect([]float64{-5, 0}, []float64{0, 5}))
+	if r.Min[0] != -5 || r.Max[1] != 5 {
+		t.Errorf("after expand rect: %v", r)
+	}
+}
+
+func TestAreaMargin(t *testing.T) {
+	r := rect([]float64{0, 0, 0}, []float64{2, 3, 4})
+	if r.Area() != 24 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	if r.Margin() != 9 {
+		t.Errorf("Margin = %v", r.Margin())
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	r := rect([]float64{0, 0}, []float64{2, 2})
+	o := rect([]float64{1, 1}, []float64{3, 3})
+	if got := r.Enlargement(o); got != 5 {
+		t.Errorf("Enlargement = %v, want 5 (3x3 - 2x2)", got)
+	}
+	inside := rect([]float64{0.5, 0.5}, []float64{1, 1})
+	if got := r.Enlargement(inside); got != 0 {
+		t.Errorf("contained rect should need no enlargement, got %v", got)
+	}
+}
+
+func TestOverlapArea(t *testing.T) {
+	a := rect([]float64{0, 0}, []float64{2, 2})
+	b := rect([]float64{1, 1}, []float64{3, 3})
+	if got := OverlapArea(a, b); got != 1 {
+		t.Errorf("OverlapArea = %v, want 1", got)
+	}
+	c := rect([]float64{5, 5}, []float64{6, 6})
+	if got := OverlapArea(a, c); got != 0 {
+		t.Errorf("disjoint overlap = %v", got)
+	}
+	// Touching rectangles share zero area.
+	d := rect([]float64{2, 0}, []float64{3, 2})
+	if got := OverlapArea(a, d); got != 0 {
+		t.Errorf("touching overlap = %v", got)
+	}
+}
+
+func TestIntersectsAndContains(t *testing.T) {
+	a := rect([]float64{0, 0}, []float64{2, 2})
+	b := rect([]float64{2, 2}, []float64{3, 3}) // touching corner
+	if !a.Intersects(b) {
+		t.Error("touching rects should intersect (closed rects)")
+	}
+	if !a.ContainsRect(rect([]float64{0.5, 0.5}, []float64{1.5, 1.5})) {
+		t.Error("containment failed")
+	}
+	if a.ContainsRect(b) {
+		t.Error("should not contain outside rect")
+	}
+	if !a.ContainsPoint([]float64{2, 0}) {
+		t.Error("boundary points are inside")
+	}
+	if a.ContainsPoint([]float64{2.0001, 0}) {
+		t.Error("outside point reported inside")
+	}
+}
+
+func TestCenterDistance(t *testing.T) {
+	a := rect([]float64{0, 0}, []float64{2, 2})
+	b := rect([]float64{4, 0}, []float64{6, 2})
+	if got := CenterDistance2(a, b); got != 16 {
+		t.Errorf("CenterDistance2 = %v, want 16", got)
+	}
+	c := make([]float64, 2)
+	a.Center(c)
+	if c[0] != 1 || c[1] != 1 {
+		t.Errorf("Center = %v", c)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := rect([]float64{0, 0}, []float64{1, 1})
+	c := a.Clone()
+	c.Min[0] = -9
+	if a.Min[0] == -9 {
+		t.Error("Clone aliases storage")
+	}
+}
+
+func TestNegativeSideArea(t *testing.T) {
+	// Inverted (empty) rect has zero area, infinite margin guards.
+	e := EmptyRect(2)
+	if e.Area() != 0 {
+		t.Errorf("empty area = %v", e.Area())
+	}
+	if !math.IsInf(e.Min[0], 1) {
+		t.Error("empty rect min should be +inf")
+	}
+}

@@ -1,0 +1,169 @@
+package rstar
+
+import "github.com/imgrn/imgrn/internal/pagestore"
+
+// Search appends to out every item whose point lies inside r and returns
+// the result. The order is deterministic (depth-first, entry order).
+func (t *Tree) Search(r Rect, out []Item) []Item {
+	return searchNode(t.root, r, out)
+}
+
+func searchNode(n *Node, r Rect, out []Item) []Item {
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !r.Intersects(e.mbr) {
+			continue
+		}
+		if n.leaf {
+			if r.ContainsPoint(e.item.Point) {
+				out = append(out, e.item)
+			}
+		} else {
+			out = searchNode(e.child, r, out)
+		}
+	}
+	return out
+}
+
+// Walk visits every node top-down (parents before children). Returning
+// false from fn skips the node's subtree.
+func (t *Tree) Walk(fn func(n *Node) bool) {
+	walkNode(t.root, fn)
+}
+
+func walkNode(n *Node, fn func(n *Node) bool) {
+	if !fn(n) {
+		return
+	}
+	if n.leaf {
+		return
+	}
+	for i := range n.entries {
+		walkNode(n.entries[i].child, fn)
+	}
+}
+
+// WalkBottomUp visits every node with children before parents, the order
+// needed to aggregate signatures (bit-OR of children, Section 5.1).
+func (t *Tree) WalkBottomUp(fn func(n *Node)) {
+	walkBottomUp(t.root, fn)
+}
+
+func walkBottomUp(n *Node, fn func(n *Node)) {
+	if !n.leaf {
+		for i := range n.entries {
+			walkBottomUp(n.entries[i].child, fn)
+		}
+	}
+	fn(n)
+}
+
+// NodeCount returns the total number of nodes.
+func (t *Tree) NodeCount() int {
+	count := 0
+	t.Walk(func(*Node) bool { count++; return true })
+	return count
+}
+
+// entryBytes estimates the on-page size of one entry: a 2k-float MBR plus
+// a 64-bit child pointer / item reference.
+func (t *Tree) entryBytes() int { return t.dim*2*8 + 8 }
+
+// NodeBytes estimates the serialized size of node n: a small header plus
+// its entries; leaf entries store the point (k floats) and the reference.
+func (t *Tree) NodeBytes(n *Node) int {
+	const header = 16
+	if n.leaf {
+		return header + len(n.entries)*(t.dim*8+8)
+	}
+	return header + len(n.entries)*t.entryBytes()
+}
+
+// SetPages assigns a page range to this node, for incremental page mapping
+// after inserts created new nodes.
+func (n *Node) SetPages(id pagestore.PageID, pages int) {
+	n.page, n.pages = id, pages
+}
+
+// AssignPages maps every node onto pages of the accountant, enabling page
+// I/O accounting during traversal. It returns the total number of pages.
+func (t *Tree) AssignPages(acc *pagestore.Accountant) int {
+	total := 0
+	t.Walk(func(n *Node) bool {
+		id, pages := acc.Allocate(t.NodeBytes(n))
+		n.page, n.pages = id, pages
+		total += pages
+		return true
+	})
+	return total
+}
+
+// TouchNode charges a read of node n to the accountant (a no-op when pages
+// were never assigned or acc is nil).
+func TouchNode(acc *pagestore.Accountant, n *Node) {
+	if acc == nil || n.pages == 0 {
+		return
+	}
+	acc.TouchRange(n.page, n.pages)
+}
+
+// CheckInvariants validates structural invariants for tests: MBR
+// containment, fill factors (root excepted), uniform leaf level, and item
+// count. It returns a descriptive error string, or "" when consistent.
+func (t *Tree) CheckInvariants() string {
+	if t.root == nil {
+		return "nil root"
+	}
+	items := 0
+	var check func(n *Node, isRoot bool) string
+	check = func(n *Node, isRoot bool) string {
+		if !isRoot && len(n.entries) < t.minFill {
+			// Bulk loading may legitimately leave one underfull node per
+			// level; accept any node with at least one entry.
+			if len(n.entries) == 0 {
+				return "empty non-root node"
+			}
+		}
+		if len(n.entries) > t.maxFill {
+			return "overfull node"
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if n.leaf {
+				items++
+				if !e.mbr.ContainsPoint(e.item.Point) {
+					return "leaf MBR does not contain its point"
+				}
+			} else {
+				if e.child.level != n.level-1 {
+					return "child level mismatch"
+				}
+				if !e.mbr.ContainsRect(e.child.mbr) {
+					return "entry MBR does not contain child MBR"
+				}
+				if s := check(e.child, false); s != "" {
+					return s
+				}
+			}
+		}
+		if len(n.entries) > 0 && !n.mbr.ContainsRect(boundOf(n)) {
+			return "node MBR too small"
+		}
+		return ""
+	}
+	if s := check(t.root, true); s != "" {
+		return s
+	}
+	if items != t.size {
+		return "item count mismatch"
+	}
+	return ""
+}
+
+func boundOf(n *Node) Rect {
+	m := n.entries[0].mbr.Clone()
+	for _, e := range n.entries[1:] {
+		m.ExpandRect(e.mbr)
+	}
+	return m
+}

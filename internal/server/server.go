@@ -1,0 +1,375 @@
+// Package server exposes an IM-GRN query engine over HTTP with a JSON
+// API — the prototype-system interface sketched in the paper's
+// conclusion: clients submit gene feature samples or a hand-drawn query
+// GRN plus ad-hoc thresholds, and receive the matching data sources with
+// confidences and cost statistics.
+//
+// Endpoints:
+//
+//	GET  /healthz      liveness probe
+//	GET  /stats        database and index statistics
+//	POST /query        IM-GRN query from a feature matrix
+//	POST /query-graph  IM-GRN query from an explicit probabilistic pattern
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/imgrn/imgrn/internal/cluster"
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+// Server handles IM-GRN HTTP requests over one index.
+type Server struct {
+	mu  sync.Mutex // queries share the index's I/O accountant
+	idx *index.Index
+	cat *gene.Catalog
+	mux *http.ServeMux
+
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+}
+
+// New returns a server over idx. cat translates gene names in requests;
+// a nil catalog restricts requests to numeric gene IDs.
+func New(idx *index.Index, cat *gene.Catalog) *Server {
+	s := &Server{idx: idx, cat: cat, MaxBodyBytes: 32 << 20}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/query-graph", s.handleQueryGraph)
+	mux.HandleFunc("/cluster", s.handleCluster)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// StatsResponse summarizes the database and index.
+type StatsResponse struct {
+	Matrices      int    `json:"matrices"`
+	Vectors       int    `json:"vectors"`
+	DistinctGenes int    `json:"distinctGenes"`
+	TreeNodes     int    `json:"treeNodes"`
+	TreeHeight    int    `json:"treeHeight"`
+	Pages         uint64 `json:"pages"`
+	Pivots        int    `json:"pivotsPerMatrix"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	sum := s.idx.DB().Summary()
+	bs := s.idx.Stats()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Matrices:      sum.Matrices,
+		Vectors:       bs.Vectors,
+		DistinctGenes: sum.DistinctGenes,
+		TreeNodes:     bs.TreeNodes,
+		TreeHeight:    bs.TreeHeight,
+		Pages:         bs.Pages,
+		Pivots:        s.idx.D(),
+	})
+}
+
+// QueryRequest is the /query payload: a feature matrix (one column per
+// gene) plus the ad-hoc thresholds of Definition 4.
+type QueryRequest struct {
+	// Genes labels the columns, by name (resolved through the catalog) or
+	// numeric ID when the name parses as an integer.
+	Genes []string `json:"genes"`
+	// Columns[i] is the feature vector of Genes[i]; all must share length.
+	Columns [][]float64 `json:"columns"`
+	Params  ParamsJSON  `json:"params"`
+}
+
+// GraphQueryRequest is the /query-graph payload: an explicit probabilistic
+// pattern.
+type GraphQueryRequest struct {
+	Genes  []string   `json:"genes"`
+	Edges  []EdgeJSON `json:"edges"`
+	Params ParamsJSON `json:"params"`
+}
+
+// ParamsJSON mirrors core.Params for the wire.
+type ParamsJSON struct {
+	Gamma    float64 `json:"gamma"`
+	Alpha    float64 `json:"alpha"`
+	Samples  int     `json:"samples,omitempty"`
+	Seed     uint64  `json:"seed,omitempty"`
+	Analytic bool    `json:"analytic,omitempty"`
+	OneSided bool    `json:"oneSided,omitempty"`
+	TopK     int     `json:"topK,omitempty"`
+}
+
+// EdgeJSON is one probabilistic edge of a pattern or answer.
+type EdgeJSON struct {
+	S    int     `json:"s"`
+	T    int     `json:"t"`
+	Prob float64 `json:"prob"`
+}
+
+// AnswerJSON is one IM-GRN match.
+type AnswerJSON struct {
+	Source int        `json:"source"`
+	Prob   float64    `json:"prob"`
+	Genes  []string   `json:"genes"`
+	Edges  []EdgeJSON `json:"edges"`
+}
+
+// QueryResponse is the /query and /query-graph reply.
+type QueryResponse struct {
+	Answers []AnswerJSON `json:"answers"`
+	Stats   QueryStats   `json:"stats"`
+}
+
+// QueryStats carries the Section-6 cost metrics.
+type QueryStats struct {
+	QueryVertices  int     `json:"queryVertices"`
+	QueryEdges     int     `json:"queryEdges"`
+	CandidateGenes int     `json:"candidateGenes"`
+	IOCost         uint64  `json:"ioPages"`
+	TotalSeconds   float64 `json:"totalSeconds"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ids, err := s.resolveGenes(req.Genes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Columns) != len(ids) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%d gene names for %d columns", len(ids), len(req.Columns)))
+		return
+	}
+	mq, err := gene.NewMatrix(-1, ids, req.Columns)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	proc, err := s.processor(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	answers, st, err := proc.Query(mq)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.response(answers, st, req.Params.TopK))
+}
+
+func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
+	var req GraphQueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	ids, err := s.resolveGenes(req.Genes)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q := grn.NewGraph(ids)
+	for _, e := range req.Edges {
+		if e.S < 0 || e.S >= len(ids) || e.T < 0 || e.T >= len(ids) || e.S == e.T {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad edge (%d,%d)", e.S, e.T))
+			return
+		}
+		q.SetEdge(e.S, e.T, e.Prob)
+	}
+	proc, err := s.processor(req.Params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	answers, st, err := proc.QueryGraph(q)
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.response(answers, st, req.Params.TopK))
+}
+
+// ClusterRequest is the /cluster payload: group the indexed data sources
+// by regulatory-structure similarity (the Example-2 workflow).
+type ClusterRequest struct {
+	// K is the number of clusters (required, 1..N).
+	K int `json:"k"`
+	// Gamma is the edge threshold of the structure distance (0.9 when 0).
+	Gamma float64 `json:"gamma,omitempty"`
+	// Restarts of the k-medoids search (4 when 0).
+	Restarts int `json:"restarts,omitempty"`
+	// Seed of the medoid initialization.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// ClusterResponse reports the clustering.
+type ClusterResponse struct {
+	Clusters []ClusterJSON `json:"clusters"`
+}
+
+// ClusterJSON is one cluster: its medoid source and member sources.
+type ClusterJSON struct {
+	Medoid  int   `json:"medoidSource"`
+	Members []int `json:"memberSources"`
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var req ClusterRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	db := s.idx.DB()
+	if req.K < 1 || req.K > db.Len() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("k=%d out of range [1,%d]", req.K, db.Len()))
+		return
+	}
+	restarts := req.Restarts
+	if restarts <= 0 {
+		restarts = 4
+	}
+	s.mu.Lock()
+	dm, err := cluster.DistanceMatrix(db, cluster.Options{Gamma: req.Gamma})
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res, err := cluster.KMedoids(dm, req.K, restarts, randgen.New(req.Seed^0x5bd1e995))
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := ClusterResponse{Clusters: make([]ClusterJSON, res.K())}
+	for c := range resp.Clusters {
+		resp.Clusters[c].Medoid = db.Matrix(res.Medoids[c]).Source
+		resp.Clusters[c].Members = []int{}
+	}
+	for i, c := range res.Assign {
+		resp.Clusters[c].Members = append(resp.Clusters[c].Members, db.Matrix(i).Source)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) processor(p ParamsJSON) (*core.Processor, error) {
+	return core.NewProcessor(s.idx, core.Params{
+		Gamma: p.Gamma, Alpha: p.Alpha, Samples: p.Samples,
+		Seed: p.Seed, Analytic: p.Analytic, OneSided: p.OneSided,
+	})
+}
+
+// resolveGenes maps request gene names to IDs via the catalog, falling
+// back to numeric parsing.
+func (s *Server) resolveGenes(names []string) ([]gene.ID, error) {
+	ids := make([]gene.ID, len(names))
+	for i, name := range names {
+		if s.cat != nil {
+			if id, ok := s.cat.Lookup(name); ok {
+				ids[i] = id
+				continue
+			}
+		}
+		var numeric int64
+		if _, err := fmt.Sscanf(name, "%d", &numeric); err != nil {
+			return nil, fmt.Errorf("unknown gene %q", name)
+		}
+		ids[i] = gene.ID(numeric)
+	}
+	return ids, nil
+}
+
+func (s *Server) geneName(id gene.ID) string {
+	if s.cat != nil {
+		return s.cat.Name(id)
+	}
+	return fmt.Sprintf("%d", int(id))
+}
+
+func (s *Server) response(answers []core.Answer, st core.Stats, topK int) QueryResponse {
+	if topK > 0 && len(answers) > topK {
+		// Answers arrive sorted by source; rank by probability for top-k.
+		sortByProb(answers)
+		answers = answers[:topK]
+	}
+	out := QueryResponse{
+		Answers: make([]AnswerJSON, 0, len(answers)),
+		Stats: QueryStats{
+			QueryVertices:  st.QueryVertices,
+			QueryEdges:     st.QueryEdges,
+			CandidateGenes: st.CandidateGenes,
+			IOCost:         st.IOCost,
+			TotalSeconds:   st.Total.Seconds(),
+		},
+	}
+	for _, a := range answers {
+		aj := AnswerJSON{Source: a.Source, Prob: a.Prob}
+		for _, g := range a.Genes {
+			aj.Genes = append(aj.Genes, s.geneName(g))
+		}
+		for _, e := range a.Edges {
+			aj.Edges = append(aj.Edges, EdgeJSON{S: e.S, T: e.T, Prob: e.P})
+		}
+		out.Answers = append(out.Answers, aj)
+	}
+	return out
+}
+
+func sortByProb(answers []core.Answer) {
+	for i := 1; i < len(answers); i++ {
+		for j := i; j > 0 && answers[j].Prob > answers[j-1].Prob; j-- {
+			answers[j], answers[j-1] = answers[j-1], answers[j]
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,249 @@
+// Package stats implements the statistical machinery of the IM-GRN paper:
+// Monte Carlo estimation of edge existence probabilities over randomized
+// (permuted) feature vectors (Section 3.1), the (ε, δ) sample-size bound of
+// Lemma 2, exact enumeration over all l! permutations for validation,
+// expected randomized distances, the Markov probability upper bound of
+// Lemma 4, and ROC/AUC evaluation used in Section 6.2.
+package stats
+
+import (
+	"math"
+
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/vecmath"
+)
+
+// SampleSize returns the number of Monte Carlo samples S required by
+// Lemma 2 so that the estimated probability ρ̂ is an ε-approximation of the
+// true ρ with confidence 1−δ:
+//
+//	S ≥ (3/ε²) · ln(2/δ).
+func SampleSize(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		panic("stats: SampleSize requires eps > 0 and 0 < delta < 1")
+	}
+	return int(math.Ceil(3 / (eps * eps) * math.Log(2/delta)))
+}
+
+// DefaultSamples is the Monte Carlo sample count used when callers do not
+// specify one. It corresponds to SampleSize(0.25, 0.05) ≈ 177, rounded up
+// to a friendlier figure; estimates at this size resolve the threshold
+// comparisons of the paper's parameter grid (γ, α ∈ {0.2 … 0.9}).
+const DefaultSamples = 192
+
+// Estimator performs Monte Carlo estimation with a private deterministic
+// generator and reusable scratch space. It is not safe for concurrent use;
+// derive one per goroutine with Split.
+type Estimator struct {
+	rng     *randgen.Rand
+	scratch []float64
+}
+
+// NewEstimator returns an Estimator seeded deterministically.
+func NewEstimator(seed uint64) *Estimator {
+	return &Estimator{rng: randgen.New(seed)}
+}
+
+// Split derives an independent estimator for use on another goroutine.
+func (e *Estimator) Split() *Estimator {
+	return &Estimator{rng: e.rng.Split()}
+}
+
+func (e *Estimator) buf(n int) []float64 {
+	if cap(e.scratch) < n {
+		e.scratch = make([]float64, n)
+	}
+	return e.scratch[:n]
+}
+
+// EdgeProbability estimates the edge existence probability of Eq. (1),
+// reduced per Lemma 1 to the Euclidean form of Eq. (4):
+//
+//	e.p = Pr{ dist(Xs, Xt^R) > dist(Xs, Xt) }
+//
+// where Xt^R is a uniform random permutation of Xt. xs and xt must be
+// standardized vectors of equal length; samples Monte Carlo draws are used
+// (DefaultSamples if samples <= 0).
+func (e *Estimator) EdgeProbability(xs, xt []float64, samples int) float64 {
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	d := vecmath.SquaredEuclidean(xs, xt)
+	perm := e.buf(len(xt))
+	hits := 0
+	for i := 0; i < samples; i++ {
+		e.rng.PermuteInto(perm, xt)
+		if vecmath.SquaredEuclidean(xs, perm) > d {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+// AbsEdgeProbability estimates the two-sided (absolute-correlation) form
+// of Definition 2:
+//
+//	e.p = Pr{ |cor(Xs, Xt)| > |cor(Xs, Xt^R)| }
+//	    = Pr{ |dist²(Xs, Xt^R) − 2| < |dist²(Xs, Xt) − 2| }
+//
+// for standardized vectors (|cor| = |1 − dist²/2|). The one-sided
+// EdgeProbability is the literal Eq. (4) reduction; it coincides with this
+// form whenever cor(Xs,Xt) + cor(Xs,Xt^R) ≥ 0 (the regime Lemma 1's proof
+// assumes) and diverges for strong negative correlations, which the
+// absolute form credits as interactions.
+func (e *Estimator) AbsEdgeProbability(xs, xt []float64, samples int) float64 {
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	c := abs(vecmath.SquaredEuclidean(xs, xt) - 2)
+	perm := e.buf(len(xt))
+	hits := 0
+	for i := 0; i < samples; i++ {
+		e.rng.PermuteInto(perm, xt)
+		if abs(vecmath.SquaredEuclidean(xs, perm)-2) < c {
+			hits++
+		}
+	}
+	return float64(hits) / float64(samples)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ExpectedPermDistance estimates E[ dist(permuted^R, fixed) ], the expected
+// Euclidean distance between a uniform random permutation of `permuted` and
+// the fixed vector. This single estimator serves both E(Z) of Lemma 4
+// (fixed = Xs, permuted = Xt) and the embedding coordinates
+// y_s[w] = E(dist(Xs^R, piv_w)) of Section 4.2 (fixed = piv_w,
+// permuted = Xs); the two forms agree in distribution because the inverse of
+// a uniform permutation is uniform.
+func (e *Estimator) ExpectedPermDistance(fixed, permuted []float64, samples int) float64 {
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	perm := e.buf(len(permuted))
+	var sum float64
+	for i := 0; i < samples; i++ {
+		e.rng.PermuteInto(perm, permuted)
+		sum += vecmath.Euclidean(fixed, perm)
+	}
+	return sum / float64(samples)
+}
+
+// MarkovUpperBound returns the Lemma-4 upper bound on an edge existence
+// probability: ub_P = E(Z)/dist, clamped to [0, 1]. A zero distance means
+// the vectors coincide, for which the bound degenerates to 1 (no pruning).
+func MarkovUpperBound(expectedZ, dist float64) float64 {
+	if dist <= 0 {
+		return 1
+	}
+	ub := expectedZ / dist
+	if ub > 1 {
+		return 1
+	}
+	if ub < 0 {
+		return 0
+	}
+	return ub
+}
+
+// MaxExactLen is the largest vector length for which the Exact* functions
+// will enumerate all l! permutations (9! = 362,880).
+const MaxExactLen = 9
+
+// ExactEdgeProbability computes Pr{dist(xs, xt^R) > dist(xs, xt)} exactly by
+// enumerating every permutation of xt. It panics if len(xt) > MaxExactLen.
+// Intended for tests that validate the Monte Carlo estimator.
+func ExactEdgeProbability(xs, xt []float64) float64 {
+	if len(xt) > MaxExactLen {
+		panic("stats: ExactEdgeProbability input too long")
+	}
+	d := vecmath.SquaredEuclidean(xs, xt)
+	hits, total := 0, 0
+	forEachPermutation(vecmath.Clone(xt), func(p []float64) {
+		total++
+		if vecmath.SquaredEuclidean(xs, p) > d {
+			hits++
+		}
+	})
+	return float64(hits) / float64(total)
+}
+
+// ExactExpectedPermDistance computes E[dist(fixed, permuted^R)] exactly by
+// enumerating every permutation of permuted. It panics if the input is
+// longer than MaxExactLen.
+func ExactExpectedPermDistance(fixed, permuted []float64) float64 {
+	if len(permuted) > MaxExactLen {
+		panic("stats: ExactExpectedPermDistance input too long")
+	}
+	var sum float64
+	total := 0
+	forEachPermutation(vecmath.Clone(permuted), func(p []float64) {
+		total++
+		sum += vecmath.Euclidean(fixed, p)
+	})
+	return sum / float64(total)
+}
+
+// ExactAbsEdgeProbability computes the two-sided edge probability exactly
+// by enumerating every permutation of xt. It panics if len(xt) >
+// MaxExactLen. Intended for tests validating AbsEdgeProbability.
+func ExactAbsEdgeProbability(xs, xt []float64) float64 {
+	if len(xt) > MaxExactLen {
+		panic("stats: ExactAbsEdgeProbability input too long")
+	}
+	c := abs(vecmath.SquaredEuclidean(xs, xt) - 2)
+	hits, total := 0, 0
+	forEachPermutation(vecmath.Clone(xt), func(p []float64) {
+		total++
+		if abs(vecmath.SquaredEuclidean(xs, p)-2) < c {
+			hits++
+		}
+	})
+	return float64(hits) / float64(total)
+}
+
+// TwoSidedDistance maps the pairwise distance of two standardized vectors
+// to the distance corresponding to |cor|: d_abs = min(d, sqrt(4 − d²)).
+// Upper bounds derived for the one-sided probability at distance d remain
+// valid for the two-sided probability at distance TwoSidedDistance(d),
+// because Pr{|cor_R| < |cor|} ≤ Pr{cor_R < |cor|} = Pr{dist_R > d_abs}.
+func TwoSidedDistance(d float64) float64 {
+	alt := 4 - d*d
+	if alt < 0 {
+		alt = 0
+	}
+	alt = math.Sqrt(alt)
+	if alt < d {
+		return alt
+	}
+	return d
+}
+
+// forEachPermutation invokes fn with every permutation of x (Heap's
+// algorithm). fn must not retain or modify its argument.
+func forEachPermutation(x []float64, fn func([]float64)) {
+	n := len(x)
+	c := make([]int, n)
+	fn(x)
+	i := 0
+	for i < n {
+		if c[i] < i {
+			if i%2 == 0 {
+				x[0], x[i] = x[i], x[0]
+			} else {
+				x[c[i]], x[i] = x[i], x[c[i]]
+			}
+			fn(x)
+			c[i]++
+			i = 0
+		} else {
+			c[i] = 0
+			i++
+		}
+	}
+}

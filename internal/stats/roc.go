@@ -1,0 +1,154 @@
+package stats
+
+import "sort"
+
+// ROCPoint is one (FPR, TPR) point of a receiver operating characteristic
+// curve, tagged with the decision threshold that produced it.
+type ROCPoint struct {
+	Threshold float64
+	FPR       float64 // false positive rate
+	TPR       float64 // true positive rate (recall)
+}
+
+// ROCCurve sweeps the given thresholds over per-instance scores and boolean
+// ground-truth labels and returns one point per threshold: an instance is
+// predicted positive when score > threshold. This mirrors Section 6.2, where
+// the inference threshold γ is swept from 0 to 1 and each setting yields one
+// (FPR, TPR) point.
+//
+// scores and labels must have equal length. With no positive (or no
+// negative) instances the corresponding rate is reported as 0.
+func ROCCurve(scores []float64, labels []bool, thresholds []float64) []ROCPoint {
+	if len(scores) != len(labels) {
+		panic("stats: ROCCurve scores/labels length mismatch")
+	}
+	positives, negatives := 0, 0
+	for _, l := range labels {
+		if l {
+			positives++
+		} else {
+			negatives++
+		}
+	}
+	points := make([]ROCPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		tp, fp := 0, 0
+		for i, s := range scores {
+			if s > th {
+				if labels[i] {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+		p := ROCPoint{Threshold: th}
+		if positives > 0 {
+			p.TPR = float64(tp) / float64(positives)
+		}
+		if negatives > 0 {
+			p.FPR = float64(fp) / float64(negatives)
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// Thresholds returns n+1 evenly spaced thresholds from lo to hi inclusive.
+func Thresholds(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		panic("stats: Thresholds needs n >= 1")
+	}
+	out := make([]float64, n+1)
+	step := (hi - lo) / float64(n)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// PRPoint is one (recall, precision) point of a precision-recall curve.
+type PRPoint struct {
+	Threshold float64
+	Recall    float64
+	Precision float64
+}
+
+// PRCurve sweeps thresholds and returns precision-recall points — the
+// AUPR companion metric standard in GRN-inference benchmarking, where
+// positives (true edges) are heavily outnumbered and ROC can look rosy
+// while precision is poor. Thresholds that predict nothing positive carry
+// precision 1 by convention.
+func PRCurve(scores []float64, labels []bool, thresholds []float64) []PRPoint {
+	if len(scores) != len(labels) {
+		panic("stats: PRCurve scores/labels length mismatch")
+	}
+	positives := 0
+	for _, l := range labels {
+		if l {
+			positives++
+		}
+	}
+	points := make([]PRPoint, 0, len(thresholds))
+	for _, th := range thresholds {
+		tp, fp := 0, 0
+		for i, s := range scores {
+			if s > th {
+				if labels[i] {
+					tp++
+				} else {
+					fp++
+				}
+			}
+		}
+		p := PRPoint{Threshold: th, Precision: 1}
+		if tp+fp > 0 {
+			p.Precision = float64(tp) / float64(tp+fp)
+		}
+		if positives > 0 {
+			p.Recall = float64(tp) / float64(positives)
+		}
+		points = append(points, p)
+	}
+	return points
+}
+
+// AUPR returns the area under the precision-recall curve by trapezoidal
+// integration over recall, anchored at recall 0 (precision of the first
+// point) and the maximal observed recall.
+func AUPR(points []PRPoint) float64 {
+	ps := make([]PRPoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Recall < ps[j].Recall })
+	if len(ps) == 0 {
+		return 0
+	}
+	var area float64
+	prevR, prevP := 0.0, ps[0].Precision
+	for _, p := range ps {
+		area += (p.Recall - prevR) * (p.Precision + prevP) / 2
+		prevR, prevP = p.Recall, p.Precision
+	}
+	return area
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration over
+// FPR, after sorting points by FPR and anchoring the curve at (0,0) and
+// (1,1).
+func AUC(points []ROCPoint) float64 {
+	ps := make([]ROCPoint, 0, len(points)+2)
+	ps = append(ps, points...)
+	ps = append(ps, ROCPoint{FPR: 0, TPR: 0}, ROCPoint{FPR: 1, TPR: 1})
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].FPR != ps[j].FPR {
+			return ps[i].FPR < ps[j].FPR
+		}
+		return ps[i].TPR < ps[j].TPR
+	})
+	var area float64
+	for i := 1; i < len(ps); i++ {
+		dx := ps[i].FPR - ps[i-1].FPR
+		area += dx * (ps[i].TPR + ps[i-1].TPR) / 2
+	}
+	return area
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestROCCurveKnown(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.4, 0.2}
+	labels := []bool{true, true, false, false}
+	pts := ROCCurve(scores, labels, []float64{0.5})
+	if len(pts) != 1 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].TPR != 1 || pts[0].FPR != 0 {
+		t.Errorf("point = %+v, want TPR 1 FPR 0", pts[0])
+	}
+	pts = ROCCurve(scores, labels, []float64{0.3})
+	if pts[0].TPR != 1 || pts[0].FPR != 0.5 {
+		t.Errorf("point = %+v, want TPR 1 FPR 0.5", pts[0])
+	}
+	pts = ROCCurve(scores, labels, []float64{0.85})
+	if pts[0].TPR != 0.5 || pts[0].FPR != 0 {
+		t.Errorf("point = %+v, want TPR 0.5 FPR 0", pts[0])
+	}
+}
+
+func TestROCCurveThresholdIsStrict(t *testing.T) {
+	pts := ROCCurve([]float64{0.5}, []bool{true}, []float64{0.5})
+	if pts[0].TPR != 0 {
+		t.Error("score equal to threshold must not be predicted positive")
+	}
+}
+
+func TestROCCurveNoPositives(t *testing.T) {
+	pts := ROCCurve([]float64{0.9}, []bool{false}, []float64{0.1})
+	if pts[0].TPR != 0 || pts[0].FPR != 1 {
+		t.Errorf("point = %+v", pts[0])
+	}
+}
+
+func TestROCCurvePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ROCCurve([]float64{1}, []bool{true, false}, nil)
+}
+
+func TestThresholds(t *testing.T) {
+	ths := Thresholds(0, 1, 4)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(ths) != len(want) {
+		t.Fatalf("len = %d", len(ths))
+	}
+	for i := range want {
+		if math.Abs(ths[i]-want[i]) > 1e-12 {
+			t.Errorf("ths[%d] = %v, want %v", i, ths[i], want[i])
+		}
+	}
+}
+
+func TestThresholdsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Thresholds(0, 1, 0)
+}
+
+func TestAUCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.7, 0.2, 0.1}
+	labels := []bool{true, true, true, false, false}
+	pts := ROCCurve(scores, labels, Thresholds(0, 1, 100))
+	if auc := AUC(pts); auc < 0.99 {
+		t.Errorf("perfect classifier AUC = %v", auc)
+	}
+}
+
+func TestAUCReversedClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	pts := ROCCurve(scores, labels, Thresholds(0, 1, 100))
+	if auc := AUC(pts); auc > 0.05 {
+		t.Errorf("reversed classifier AUC = %v, want ≈ 0", auc)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	// Alternating labels with monotone scores interleave TPR/FPR equally.
+	var scores []float64
+	var labels []bool
+	for i := 0; i < 200; i++ {
+		scores = append(scores, float64(i)/200)
+		labels = append(labels, i%2 == 0)
+	}
+	pts := ROCCurve(scores, labels, Thresholds(0, 1, 200))
+	if auc := AUC(pts); math.Abs(auc-0.5) > 0.05 {
+		t.Errorf("interleaved AUC = %v, want ≈ 0.5", auc)
+	}
+}
+
+func TestAUCEmptyPointsAnchored(t *testing.T) {
+	if auc := AUC(nil); math.Abs(auc-0.5) > 1e-12 {
+		t.Errorf("AUC of empty curve = %v, want 0.5 (diagonal)", auc)
+	}
+}
+
+func TestPRCurveKnown(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.4, 0.2}
+	labels := []bool{true, false, true, false}
+	pts := PRCurve(scores, labels, []float64{0.5})
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Above 0.5: one TP (0.9), one FP (0.8) → precision 0.5, recall 0.5.
+	if pts[0].Precision != 0.5 || pts[0].Recall != 0.5 {
+		t.Errorf("point = %+v", pts[0])
+	}
+	// Threshold above everything: by convention precision 1, recall 0.
+	pts = PRCurve(scores, labels, []float64{0.95})
+	if pts[0].Precision != 1 || pts[0].Recall != 0 {
+		t.Errorf("empty-prediction point = %+v", pts[0])
+	}
+}
+
+func TestPRCurvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PRCurve([]float64{1}, []bool{true, false}, nil)
+}
+
+func TestAUPRPerfectAndRandom(t *testing.T) {
+	// Perfect ranking: AUPR ≈ 1.
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	pts := PRCurve(scores, labels, Thresholds(0, 1, 100))
+	if aupr := AUPR(pts); aupr < 0.95 {
+		t.Errorf("perfect AUPR = %v", aupr)
+	}
+	// Reversed ranking: poor AUPR (positives found last, precision low
+	// until full recall).
+	rev := PRCurve([]float64{0.1, 0.2, 0.8, 0.9}, labels, Thresholds(0, 1, 100))
+	if aupr := AUPR(rev); aupr > 0.6 {
+		t.Errorf("reversed AUPR = %v", aupr)
+	}
+	if AUPR(nil) != 0 {
+		t.Error("empty AUPR should be 0")
+	}
+}

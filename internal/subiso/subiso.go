@@ -1,0 +1,235 @@
+// Package subiso implements label-constrained subgraph isomorphism over
+// probabilistic GRN graphs (Definition 4): an embedding maps every query
+// vertex to a distinct data vertex with a compatible gene label, every query
+// edge to an existing data edge, and the appearance probability of the
+// matched subgraph — the product of the mapped edges' existence
+// probabilities (Eq. 3) — must exceed the probabilistic threshold α.
+//
+// A VF2-style backtracking matcher handles duplicate and wildcard labels;
+// a fast path resolves the common case where every query label occurs at
+// most once in the data graph, making the embedding unique.
+package subiso
+
+import (
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+)
+
+// Wildcard is a query gene label that matches any data gene.
+const Wildcard gene.ID = -1
+
+// Match is one embedding of the query into the data graph.
+type Match struct {
+	// Mapping[q] is the data-vertex index assigned to query vertex q.
+	Mapping []int
+	// Prob is the appearance probability Pr{G} of the matched subgraph.
+	Prob float64
+}
+
+// Options tunes the matcher.
+type Options struct {
+	// Alpha is the probabilistic threshold: only embeddings with
+	// Pr{G} > Alpha are reported. Zero keeps everything with Pr{G} > 0.
+	Alpha float64
+	// MaxMatches stops the search after this many embeddings (0 = all).
+	MaxMatches int
+}
+
+// Find returns the embeddings of query q into data graph g that satisfy
+// opts. Embeddings are found in a deterministic order.
+func Find(q, g *grn.Graph, opts Options) []Match {
+	nq := q.NumVertices()
+	if nq == 0 {
+		return []Match{{Mapping: []int{}, Prob: 1}}
+	}
+	if nq > g.NumVertices() {
+		return nil
+	}
+	m := &matcher{q: q, g: g, opts: opts}
+	if m.uniqueLabelFastPath() {
+		return m.out
+	}
+	m.search()
+	return m.out
+}
+
+// Exists reports whether at least one qualifying embedding exists, stopping
+// at the first. This is the Definition-4 decision the query processor needs.
+func Exists(q, g *grn.Graph, alpha float64) (Match, bool) {
+	opts := Options{Alpha: alpha, MaxMatches: 1}
+	ms := Find(q, g, opts)
+	if len(ms) == 0 {
+		return Match{}, false
+	}
+	return ms[0], true
+}
+
+// Best returns the qualifying embedding with the highest appearance
+// probability, or ok=false when none exists.
+func Best(q, g *grn.Graph, alpha float64) (Match, bool) {
+	ms := Find(q, g, Options{Alpha: alpha})
+	best, ok := Match{}, false
+	for _, m := range ms {
+		if !ok || m.Prob > best.Prob {
+			best, ok = m, true
+		}
+	}
+	return best, ok
+}
+
+type matcher struct {
+	q, g *grn.Graph
+	opts Options
+
+	order   []int // query vertices in matching order
+	mapping []int // query vertex -> data vertex (or -1)
+	used    []bool
+	out     []Match
+	done    bool
+}
+
+// uniqueLabelFastPath handles the dominant biological case: every
+// (non-wildcard) query label identifies at most one data vertex, so the
+// embedding — if any — is forced. Returns true when the fast path applied
+// (whether or not a match was found); false defers to the general search.
+func (m *matcher) uniqueLabelFastPath() bool {
+	nq := m.q.NumVertices()
+	labelPos := make(map[gene.ID]int, m.g.NumVertices())
+	for v := 0; v < m.g.NumVertices(); v++ {
+		id := m.g.Gene(v)
+		if _, dup := labelPos[id]; dup {
+			return false // duplicate data label: general search required
+		}
+		labelPos[id] = v
+	}
+	mapping := make([]int, nq)
+	for qv := 0; qv < nq; qv++ {
+		id := m.q.Gene(qv)
+		if id == Wildcard {
+			return false
+		}
+		dv, ok := labelPos[id]
+		if !ok {
+			return true // some query gene absent: no match, fast path done
+		}
+		mapping[qv] = dv
+	}
+	// Distinctness is implied: distinct query vertices cannot share a gene
+	// label within one graph, and labels map to unique data vertices.
+	prob := 1.0
+	for _, e := range m.q.Edges() {
+		p, ok := m.g.EdgeProb(mapping[e.S], mapping[e.T])
+		if !ok {
+			return true
+		}
+		prob *= p
+	}
+	if prob > m.opts.Alpha {
+		m.out = append(m.out, Match{Mapping: mapping, Prob: prob})
+	}
+	return true
+}
+
+// search runs the VF2-style backtracking matcher.
+func (m *matcher) search() {
+	nq := m.q.NumVertices()
+	m.order = matchOrder(m.q)
+	m.mapping = make([]int, nq)
+	for i := range m.mapping {
+		m.mapping[i] = -1
+	}
+	m.used = make([]bool, m.g.NumVertices())
+	m.extend(0, 1.0)
+}
+
+// matchOrder returns query vertices ordered so each vertex (after the
+// first) is adjacent to an already-ordered vertex when the query is
+// connected, starting from the max-degree vertex — the heuristic of Fig. 4.
+func matchOrder(q *grn.Graph) []int {
+	nq := q.NumVertices()
+	order := make([]int, 0, nq)
+	placed := make([]bool, nq)
+	for len(order) < nq {
+		// Seed each component from its highest-degree unplaced vertex.
+		seed, bestDeg := -1, -1
+		for v := 0; v < nq; v++ {
+			if !placed[v] && q.Degree(v) > bestDeg {
+				seed, bestDeg = v, q.Degree(v)
+			}
+		}
+		frontier := []int{seed}
+		placed[seed] = true
+		for len(frontier) > 0 {
+			v := frontier[0]
+			frontier = frontier[1:]
+			order = append(order, v)
+			for _, nb := range q.Neighbors(v) {
+				if !placed[nb] {
+					placed[nb] = true
+					frontier = append(frontier, nb)
+				}
+			}
+		}
+	}
+	return order
+}
+
+func (m *matcher) extend(depth int, prob float64) {
+	if m.done {
+		return
+	}
+	if depth == len(m.order) {
+		mapping := make([]int, len(m.mapping))
+		copy(mapping, m.mapping)
+		m.out = append(m.out, Match{Mapping: mapping, Prob: prob})
+		if m.opts.MaxMatches > 0 && len(m.out) >= m.opts.MaxMatches {
+			m.done = true
+		}
+		return
+	}
+	qv := m.order[depth]
+	qid := m.q.Gene(qv)
+	for dv := 0; dv < m.g.NumVertices(); dv++ {
+		if m.used[dv] {
+			continue
+		}
+		if qid != Wildcard && m.g.Gene(dv) != qid {
+			continue
+		}
+		if m.g.Degree(dv) < m.q.Degree(qv) {
+			continue
+		}
+		// Every already-mapped query neighbor must be a data neighbor, and
+		// the partial probability product must stay above alpha (edge
+		// probabilities are ≤ 1, so the product can only shrink).
+		p := prob
+		ok := true
+		for _, qn := range m.q.Neighbors(qv) {
+			dn := m.mapping[qn]
+			if dn < 0 {
+				continue
+			}
+			ep, exists := m.g.EdgeProb(dv, dn)
+			if !exists {
+				ok = false
+				break
+			}
+			p *= ep
+			if p <= m.opts.Alpha {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		m.mapping[qv] = dv
+		m.used[dv] = true
+		m.extend(depth+1, p)
+		m.used[dv] = false
+		m.mapping[qv] = -1
+		if m.done {
+			return
+		}
+	}
+}

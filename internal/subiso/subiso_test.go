@@ -1,0 +1,285 @@
+package subiso
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+func path(ids []gene.ID, probs []float64) *grn.Graph {
+	g := grn.NewGraph(ids)
+	for i, p := range probs {
+		g.SetEdge(i, i+1, p)
+	}
+	return g
+}
+
+func TestUniqueLabelFastPathMatch(t *testing.T) {
+	data := path([]gene.ID{1, 2, 3, 4}, []float64{0.9, 0.8, 0.7})
+	query := path([]gene.ID{2, 3}, []float64{0.5})
+	ms := Find(query, data, Options{Alpha: 0.5})
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ms))
+	}
+	if ms[0].Mapping[0] != 1 || ms[0].Mapping[1] != 2 {
+		t.Errorf("mapping = %v", ms[0].Mapping)
+	}
+	if math.Abs(ms[0].Prob-0.8) > 1e-12 {
+		t.Errorf("prob = %v, want 0.8", ms[0].Prob)
+	}
+}
+
+func TestAlphaFiltering(t *testing.T) {
+	data := path([]gene.ID{1, 2, 3}, []float64{0.6, 0.6})
+	query := path([]gene.ID{1, 2, 3}, []float64{0.5, 0.5})
+	if ms := Find(query, data, Options{Alpha: 0.36}); len(ms) != 0 {
+		t.Error("Pr = 0.36 must not exceed alpha = 0.36 (strict)")
+	}
+	if ms := Find(query, data, Options{Alpha: 0.35}); len(ms) != 1 {
+		t.Error("Pr = 0.36 > 0.35 should match")
+	}
+}
+
+func TestMissingQueryGene(t *testing.T) {
+	data := path([]gene.ID{1, 2}, []float64{0.9})
+	query := path([]gene.ID{1, 5}, []float64{0.5})
+	if ms := Find(query, data, Options{}); len(ms) != 0 {
+		t.Error("query gene absent from data should not match")
+	}
+}
+
+func TestMissingQueryEdge(t *testing.T) {
+	data := grn.NewGraph([]gene.ID{1, 2, 3})
+	data.SetEdge(0, 1, 0.9)
+	query := path([]gene.ID{1, 3}, []float64{0.5}) // edge 1–3 absent in data
+	if ms := Find(query, data, Options{}); len(ms) != 0 {
+		t.Error("missing data edge should not match")
+	}
+}
+
+func TestNonInducedSemantics(t *testing.T) {
+	// Data triangle; query path. Extra data edge must not block matching.
+	data := grn.NewGraph([]gene.ID{1, 2, 3})
+	data.SetEdge(0, 1, 0.9)
+	data.SetEdge(1, 2, 0.9)
+	data.SetEdge(0, 2, 0.9)
+	query := path([]gene.ID{1, 2, 3}, []float64{0.5, 0.5})
+	ms := Find(query, data, Options{})
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1 (subgraph, not induced)", len(ms))
+	}
+	if math.Abs(ms[0].Prob-0.81) > 1e-12 {
+		t.Errorf("prob = %v, want 0.81 (only query edges multiply)", ms[0].Prob)
+	}
+}
+
+func TestDuplicateLabelsEnumerateAllEmbeddings(t *testing.T) {
+	// Data: star with three leaves all labelled 7; query: one edge (5,7).
+	data := grn.NewGraph([]gene.ID{5, 7, 7 + 1000, 7})
+	// Give two of the three leaves label 7 (vertex 2 differs).
+	data.SetEdge(0, 1, 0.9)
+	data.SetEdge(0, 2, 0.8)
+	data.SetEdge(0, 3, 0.7)
+	query := grn.NewGraph([]gene.ID{5, 7})
+	query.SetEdge(0, 1, 0.5)
+	ms := Find(query, data, Options{})
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d, want 2 (two leaves labelled 7)", len(ms))
+	}
+}
+
+func TestWildcardLabel(t *testing.T) {
+	data := path([]gene.ID{1, 2, 3}, []float64{0.9, 0.8})
+	query := grn.NewGraph([]gene.ID{2, Wildcard})
+	query.SetEdge(0, 1, 0.5)
+	ms := Find(query, data, Options{})
+	if len(ms) != 2 {
+		t.Fatalf("matches = %d, want 2 (wildcard matches both neighbors)", len(ms))
+	}
+}
+
+func TestMaxMatchesStopsEarly(t *testing.T) {
+	data := path([]gene.ID{1, 2, 3}, []float64{0.9, 0.8})
+	query := grn.NewGraph([]gene.ID{2, Wildcard})
+	query.SetEdge(0, 1, 0.5)
+	ms := Find(query, data, Options{MaxMatches: 1})
+	if len(ms) != 1 {
+		t.Fatalf("matches = %d, want 1", len(ms))
+	}
+}
+
+func TestQueryLargerThanData(t *testing.T) {
+	data := path([]gene.ID{1, 2}, []float64{0.9})
+	query := path([]gene.ID{1, 2, 3}, []float64{0.5, 0.5})
+	if ms := Find(query, data, Options{}); ms != nil {
+		t.Error("oversized query should not match")
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	data := path([]gene.ID{1, 2}, []float64{0.9})
+	query := grn.NewGraph(nil)
+	ms := Find(query, data, Options{})
+	if len(ms) != 1 || ms[0].Prob != 1 {
+		t.Errorf("empty query: %+v", ms)
+	}
+}
+
+func TestEdgelessQueryVerticesOnly(t *testing.T) {
+	data := path([]gene.ID{1, 2, 3}, []float64{0.9, 0.8})
+	query := grn.NewGraph([]gene.ID{3, 1})
+	ms := Find(query, data, Options{})
+	if len(ms) != 1 || ms[0].Prob != 1 {
+		t.Fatalf("edgeless query: %+v", ms)
+	}
+	if ms[0].Mapping[0] != 2 || ms[0].Mapping[1] != 0 {
+		t.Errorf("mapping = %v", ms[0].Mapping)
+	}
+}
+
+func TestExistsAndBest(t *testing.T) {
+	data := grn.NewGraph([]gene.ID{5, 7, 7 + 1000, 7})
+	data.SetEdge(0, 1, 0.9)
+	data.SetEdge(0, 3, 0.7)
+	query := grn.NewGraph([]gene.ID{5, 7})
+	query.SetEdge(0, 1, 0.5)
+	if _, ok := Exists(query, data, 0.95); ok {
+		t.Error("no embedding above 0.95 exists")
+	}
+	m, ok := Best(query, data, 0)
+	if !ok || math.Abs(m.Prob-0.9) > 1e-12 {
+		t.Errorf("Best = %+v, %v; want prob 0.9", m, ok)
+	}
+}
+
+func TestDisconnectedQuery(t *testing.T) {
+	data := grn.NewGraph([]gene.ID{1, 2, 3, 4})
+	data.SetEdge(0, 1, 0.9)
+	data.SetEdge(2, 3, 0.8)
+	query := grn.NewGraph([]gene.ID{1, 2, 3, 4})
+	query.SetEdge(0, 1, 0.5)
+	query.SetEdge(2, 3, 0.5)
+	ms := Find(query, data, Options{})
+	if len(ms) != 1 {
+		t.Fatalf("disconnected query matches = %d, want 1", len(ms))
+	}
+	if math.Abs(ms[0].Prob-0.72) > 1e-12 {
+		t.Errorf("prob = %v", ms[0].Prob)
+	}
+}
+
+// TestMatchValidity: every embedding returned on random inputs is valid —
+// injective, label-compatible, edge-preserving, with the right probability.
+func TestMatchValidity(t *testing.T) {
+	rng := randgen.New(60)
+	f := func(seed uint64) bool {
+		r := randgen.New(seed ^ rng.Uint64())
+		nd := 4 + r.Intn(5)
+		data := randomLabelled(r, nd, 2+r.Intn(6), 3)
+		query := randomLabelled(r, 2+r.Intn(3), 1+r.Intn(2), 3)
+		alpha := r.Float64() * 0.5
+		for _, m := range Find(query, data, Options{Alpha: alpha}) {
+			seen := make(map[int]bool)
+			prob := 1.0
+			for qv, dv := range m.Mapping {
+				if seen[dv] {
+					return false // not injective
+				}
+				seen[dv] = true
+				if ql := query.Gene(qv); ql != Wildcard && ql != data.Gene(dv) {
+					return false // label mismatch
+				}
+			}
+			for _, e := range query.Edges() {
+				p, ok := data.EdgeProb(m.Mapping[e.S], m.Mapping[e.T])
+				if !ok {
+					return false // edge not preserved
+				}
+				prob *= p
+			}
+			if math.Abs(prob-m.Prob) > 1e-9 || prob <= alpha {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomLabelled builds a graph with labels drawn from a small alphabet so
+// duplicates occur and the general matcher is exercised.
+func randomLabelled(rng *randgen.Rand, n, edges, alphabet int) *grn.Graph {
+	ids := make([]gene.ID, n)
+	for i := range ids {
+		ids[i] = gene.ID(rng.Intn(alphabet))
+	}
+	g := grn.NewGraph(ids)
+	for k := 0; k < edges; k++ {
+		s := rng.Intn(n)
+		t := rng.Intn(n)
+		if s == t {
+			continue
+		}
+		g.SetEdge(s, t, 0.1+0.9*rng.Float64())
+	}
+	return g
+}
+
+// TestGeneralMatchesAgreeWithBruteForce cross-checks the VF2 matcher
+// against exhaustive mapping enumeration on small graphs.
+func TestGeneralMatchesAgreeWithBruteForce(t *testing.T) {
+	rng := randgen.New(61)
+	for trial := 0; trial < 100; trial++ {
+		data := randomLabelled(rng, 5, 5, 2)
+		query := randomLabelled(rng, 3, 2, 2)
+		got := len(Find(query, data, Options{}))
+		want := bruteForceCount(query, data, 0)
+		if got != want {
+			t.Fatalf("trial %d: matcher found %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func bruteForceCount(q, g *grn.Graph, alpha float64) int {
+	nq, ng := q.NumVertices(), g.NumVertices()
+	mapping := make([]int, nq)
+	used := make([]bool, ng)
+	count := 0
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == nq {
+			prob := 1.0
+			for _, e := range q.Edges() {
+				p, ok := g.EdgeProb(mapping[e.S], mapping[e.T])
+				if !ok {
+					return
+				}
+				prob *= p
+			}
+			if prob > alpha {
+				count++
+			}
+			return
+		}
+		for dv := 0; dv < ng; dv++ {
+			if used[dv] {
+				continue
+			}
+			if ql := q.Gene(depth); ql != Wildcard && ql != g.Gene(dv) {
+				continue
+			}
+			mapping[depth] = dv
+			used[dv] = true
+			rec(depth + 1)
+			used[dv] = false
+		}
+	}
+	rec(0)
+	return count
+}

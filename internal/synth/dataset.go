@@ -1,0 +1,225 @@
+package synth
+
+import (
+	"fmt"
+
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+// DBParams parameterizes a synthetic gene feature database (Table 2).
+type DBParams struct {
+	// N is the number of matrices (data sources).
+	N int
+	// NMin, NMax bound the genes per matrix ([n_min, n_max]).
+	NMin, NMax int
+	// LMin, LMax bound the samples per matrix.
+	LMin, LMax int
+	// Deg is the expected in-degree (1 when 0).
+	Deg float64
+	// Dist selects Uni or Gau.
+	Dist Distribution
+	// GenePool is the universe size gene IDs are drawn from; matrices
+	// overlap in genes, enabling cross-source matching. Defaults to
+	// 2·NMax when 0.
+	GenePool int
+	// Seed makes generation reproducible.
+	Seed uint64
+}
+
+func (p DBParams) withDefaults() (DBParams, error) {
+	if p.N <= 0 {
+		return p, fmt.Errorf("synth: N must be positive")
+	}
+	if p.NMin <= 1 || p.NMax < p.NMin {
+		return p, fmt.Errorf("synth: bad gene range [%d,%d]", p.NMin, p.NMax)
+	}
+	if p.LMin == 0 && p.LMax == 0 {
+		p.LMin, p.LMax = 20, 50
+	}
+	if p.LMin < 2 || p.LMax < p.LMin {
+		return p, fmt.Errorf("synth: bad sample range [%d,%d]", p.LMin, p.LMax)
+	}
+	if p.GenePool == 0 {
+		p.GenePool = 2 * p.NMax
+	}
+	if p.GenePool < p.NMax {
+		return p, fmt.Errorf("synth: gene pool %d smaller than NMax %d", p.GenePool, p.NMax)
+	}
+	return p, nil
+}
+
+// Dataset couples a generated database with its per-source ground truths.
+type Dataset struct {
+	DB    *gene.Database
+	Truth map[int]*Truth
+	rng   *randgen.Rand
+}
+
+// GenerateDatabase builds a database of N matrices with random shapes in
+// the configured ranges (Section 6.1).
+func GenerateDatabase(p DBParams) (*Dataset, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := randgen.New(p.Seed ^ 0xbe5f14d21a3c9e70)
+	ds := &Dataset{
+		DB:    gene.NewDatabase(),
+		Truth: make(map[int]*Truth, p.N),
+		rng:   rng.Split(),
+	}
+	for i := 0; i < p.N; i++ {
+		n := rng.IntIn(p.NMin, p.NMax)
+		l := rng.IntIn(p.LMin, p.LMax)
+		ids := SampleIDs(rng, p.GenePool, n)
+		m, truth, err := GenerateMatrix(rng, i, ids, GenParams{
+			Genes: n, Samples: l, Deg: p.Deg, Dist: p.Dist,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("synth: matrix %d: %w", i, err)
+		}
+		if err := ds.DB.Add(m); err != nil {
+			return nil, err
+		}
+		ds.Truth[i] = truth
+	}
+	return ds, nil
+}
+
+// ExtractQuery extracts an l_Q×n_Q query matrix from a random database
+// matrix such that the ground-truth subgraph over the chosen genes is
+// connected (the query workload of Section 6.1). It returns the query
+// matrix and the data source it came from.
+func (ds *Dataset) ExtractQuery(rng *randgen.Rand, nQ int) (*gene.Matrix, int, error) {
+	if rng == nil {
+		rng = ds.rng
+	}
+	n := ds.DB.Len()
+	if n == 0 {
+		return nil, 0, fmt.Errorf("synth: empty database")
+	}
+	const maxTries = 256
+	for try := 0; try < maxTries; try++ {
+		m := ds.DB.Matrix(rng.Intn(n))
+		truth := ds.Truth[m.Source]
+		if m.NumGenes() < nQ {
+			continue
+		}
+		cols, ok := connectedSubset(rng, truth, nQ)
+		if !ok {
+			continue
+		}
+		q, err := m.SubMatrix(-1-try, cols)
+		if err != nil {
+			return nil, 0, err
+		}
+		return q, m.Source, nil
+	}
+	// Sparse ground truths (e.g. organism-density sub-samples) may offer
+	// no truth-connected n_Q-subset; fall back to a truth-seeded random
+	// extraction. The inferred query GRN carries the connectivity the
+	// matcher actually consumes, so the workload stays meaningful.
+	for try := 0; try < maxTries; try++ {
+		m := ds.DB.Matrix(rng.Intn(n))
+		if m.NumGenes() < nQ {
+			continue
+		}
+		truth := ds.Truth[m.Source]
+		cols := seededSubset(rng, truth, m.NumGenes(), nQ)
+		q, err := m.SubMatrix(-1-maxTries-try, cols)
+		if err != nil {
+			return nil, 0, err
+		}
+		return q, m.Source, nil
+	}
+	return nil, 0, fmt.Errorf("synth: could not extract a %d-gene query (all matrices have < %d genes?)", nQ, nQ)
+}
+
+// connectedSubset grows a connected vertex set of size k over the truth
+// graph by randomized BFS from a random seed vertex.
+func connectedSubset(rng *randgen.Rand, t *Truth, k int) ([]int, bool) {
+	if k <= 0 || t.N() < k {
+		return nil, false
+	}
+	if k == 1 {
+		return []int{rng.Intn(t.N())}, true
+	}
+	start := rng.Intn(t.N())
+	chosen := []int{start}
+	inSet := map[int]bool{start: true}
+	frontier := append([]int(nil), t.Neighbors(start)...)
+	for len(chosen) < k && len(frontier) > 0 {
+		// Randomize expansion for workload diversity.
+		i := rng.Intn(len(frontier))
+		v := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if inSet[v] {
+			continue
+		}
+		inSet[v] = true
+		chosen = append(chosen, v)
+		for _, nb := range t.Neighbors(v) {
+			if !inSet[nb] {
+				frontier = append(frontier, nb)
+			}
+		}
+	}
+	if len(chosen) < k {
+		return nil, false
+	}
+	return chosen, true
+}
+
+// seededSubset grows as much of a truth-connected set as possible and
+// fills the remainder with distinct random columns.
+func seededSubset(rng *randgen.Rand, t *Truth, nCols, k int) []int {
+	chosen, _ := connectedSubset(rng, t, 1)
+	inSet := map[int]bool{chosen[0]: true}
+	frontier := append([]int(nil), t.Neighbors(chosen[0])...)
+	for len(chosen) < k && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		v := frontier[i]
+		frontier[i] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if inSet[v] {
+			continue
+		}
+		inSet[v] = true
+		chosen = append(chosen, v)
+		frontier = append(frontier, t.Neighbors(v)...)
+	}
+	for len(chosen) < k {
+		v := rng.Intn(nCols)
+		if !inSet[v] {
+			inSet[v] = true
+			chosen = append(chosen, v)
+		}
+	}
+	return chosen
+}
+
+// SubSample extracts a sub-matrix of m over the given row (sample) and
+// column (gene) indices, the operation used to carve small database
+// matrices out of a large organism-scale matrix ("Real" data, Section 6.3).
+func SubSample(m *gene.Matrix, source int, rowIdx, colIdx []int) (*gene.Matrix, error) {
+	genes := make([]gene.ID, len(colIdx))
+	cols := make([][]float64, len(colIdx))
+	for k, j := range colIdx {
+		if j < 0 || j >= m.NumGenes() {
+			return nil, fmt.Errorf("synth: column %d out of range", j)
+		}
+		full := m.Col(j)
+		sub := make([]float64, len(rowIdx))
+		for r, ri := range rowIdx {
+			if ri < 0 || ri >= m.Samples() {
+				return nil, fmt.Errorf("synth: row %d out of range", ri)
+			}
+			sub[r] = full[ri]
+		}
+		genes[k] = m.Gene(j)
+		cols[k] = sub
+	}
+	return gene.NewMatrix(source, genes, cols)
+}

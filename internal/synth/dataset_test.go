@@ -1,0 +1,170 @@
+package synth
+
+import (
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+func TestGenerateDatabaseShapes(t *testing.T) {
+	ds, err := GenerateDatabase(DBParams{
+		N: 30, NMin: 5, NMax: 10, LMin: 6, LMax: 12,
+		Dist: Gaussian, GenePool: 40, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.DB.Len() != 30 {
+		t.Fatalf("N = %d", ds.DB.Len())
+	}
+	for _, m := range ds.DB.Matrices() {
+		if m.NumGenes() < 5 || m.NumGenes() > 10 {
+			t.Errorf("genes = %d out of [5,10]", m.NumGenes())
+		}
+		if m.Samples() < 6 || m.Samples() > 12 {
+			t.Errorf("samples = %d out of [6,12]", m.Samples())
+		}
+		for _, g := range m.Genes() {
+			if g < 0 || int(g) >= 40 {
+				t.Errorf("gene %d outside pool", g)
+			}
+		}
+		if ds.Truth[m.Source] == nil {
+			t.Errorf("no truth for source %d", m.Source)
+		}
+	}
+}
+
+func TestGenerateDatabaseValidation(t *testing.T) {
+	bad := []DBParams{
+		{N: 0, NMin: 5, NMax: 10},
+		{N: 5, NMin: 0, NMax: 10},
+		{N: 5, NMin: 10, NMax: 5},
+		{N: 5, NMin: 5, NMax: 10, LMin: 1, LMax: 0},
+		{N: 5, NMin: 5, NMax: 10, GenePool: 3},
+	}
+	for i, p := range bad {
+		if _, err := GenerateDatabase(p); err == nil {
+			t.Errorf("case %d should fail: %+v", i, p)
+		}
+	}
+}
+
+func TestGenerateDatabaseDeterminism(t *testing.T) {
+	p := DBParams{N: 5, NMin: 4, NMax: 6, LMin: 5, LMax: 8, GenePool: 20, Seed: 9}
+	a, err := GenerateDatabase(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDatabase(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.DB.Len(); i++ {
+		ma, mb := a.DB.Matrix(i), b.DB.Matrix(i)
+		if ma.NumGenes() != mb.NumGenes() || ma.Samples() != mb.Samples() {
+			t.Fatal("shapes differ across same-seed runs")
+		}
+		for j := 0; j < ma.NumGenes(); j++ {
+			ca, cb := ma.Col(j), mb.Col(j)
+			for k := range ca {
+				if ca[k] != cb[k] {
+					t.Fatal("values differ across same-seed runs")
+				}
+			}
+		}
+	}
+}
+
+func TestExtractQueryConnectedTruth(t *testing.T) {
+	ds, err := GenerateDatabase(DBParams{
+		N: 20, NMin: 10, NMax: 15, LMin: 8, LMax: 12,
+		Dist: Uniform, GenePool: 60, Seed: 12, Deg: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randgen.New(13)
+	for i := 0; i < 10; i++ {
+		q, origin, err := ds.ExtractQuery(rng, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.NumGenes() != 4 {
+			t.Fatalf("query genes = %d", q.NumGenes())
+		}
+		om := ds.DB.BySource(origin)
+		if om == nil {
+			t.Fatalf("origin %d unknown", origin)
+		}
+		for _, g := range q.Genes() {
+			if !om.Has(g) {
+				t.Errorf("query gene %d not in origin", g)
+			}
+		}
+		if q.Samples() != om.Samples() {
+			t.Errorf("query sample count differs from origin")
+		}
+	}
+}
+
+func TestExtractQueryFallbackOnSparseTruth(t *testing.T) {
+	// Near-zero degree leaves almost no truth edges; extraction must still
+	// succeed via the fallback.
+	ds, err := GenerateDatabase(DBParams{
+		N: 10, NMin: 8, NMax: 10, LMin: 6, LMax: 8,
+		Dist: Uniform, GenePool: 30, Seed: 14, Deg: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randgen.New(15)
+	q, _, err := ds.ExtractQuery(rng, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumGenes() != 6 {
+		t.Errorf("fallback query genes = %d", q.NumGenes())
+	}
+}
+
+func TestExtractQueryTooLarge(t *testing.T) {
+	ds, err := GenerateDatabase(DBParams{
+		N: 3, NMin: 4, NMax: 5, LMin: 5, LMax: 6, GenePool: 20, Seed: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ds.ExtractQuery(randgen.New(17), 50); err == nil {
+		t.Error("oversized query should fail")
+	}
+}
+
+func TestSubSample(t *testing.T) {
+	ds, err := GenerateDatabase(DBParams{
+		N: 1, NMin: 6, NMax: 6, LMin: 10, LMax: 10, GenePool: 20, Seed: 18,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.DB.Matrix(0)
+	sub, err := SubSample(m, 99, []int{1, 3, 5}, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Source != 99 || sub.NumGenes() != 2 || sub.Samples() != 3 {
+		t.Fatalf("sub shape: %d genes × %d samples", sub.NumGenes(), sub.Samples())
+	}
+	if sub.Gene(1) != m.Gene(2) {
+		t.Error("gene labels wrong")
+	}
+	if sub.Col(0)[1] != m.Col(0)[3] {
+		t.Error("row selection wrong")
+	}
+	if _, err := SubSample(m, 0, []int{99}, []int{0}); err == nil {
+		t.Error("row out of range should error")
+	}
+	if _, err := SubSample(m, 0, []int{0}, []int{99}); err == nil {
+		t.Error("column out of range should error")
+	}
+}

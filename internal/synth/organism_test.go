@@ -1,0 +1,166 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+func TestOrganismSpecs(t *testing.T) {
+	if len(Organisms) != 3 {
+		t.Fatalf("organisms = %d", len(Organisms))
+	}
+	if EColi.AvgDegree() <= 0.4 || EColi.AvgDegree() >= 0.5 {
+		t.Errorf("E.coli avg degree = %v", EColi.AvgDegree())
+	}
+	p := EColi.Scaled(100, 50)
+	if p.Genes != 100 || p.Samples != 50 {
+		t.Errorf("scaled params: %+v", p)
+	}
+	p = SAureus.Scaled(100, 0)
+	if p.Samples != SAureus.Samples {
+		t.Errorf("uncapped samples = %d", p.Samples)
+	}
+}
+
+func TestGenerateOrganism(t *testing.T) {
+	m, truth, err := GenerateOrganism(EColi, 40, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGenes() != 40 || m.Samples() != 30 {
+		t.Fatalf("shape %dx%d", m.Samples(), m.NumGenes())
+	}
+	if truth.N() != 40 {
+		t.Errorf("truth size = %d", truth.N())
+	}
+	if m.Source >= 0 {
+		t.Errorf("organism sources should be negative, got %d", m.Source)
+	}
+	// Gene IDs must be namespaced per organism.
+	m2, _, err := GenerateOrganism(SAureus, 40, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gene(0) == m2.Gene(0) {
+		t.Error("organisms share gene IDs")
+	}
+}
+
+func TestGenerateOrganismUnknown(t *testing.T) {
+	if _, _, err := GenerateOrganism(OrganismSpec{Name: "nope"}, 10, 10, 1); err == nil {
+		t.Error("unknown organism should error")
+	}
+}
+
+func TestContaminateShapeAndRate(t *testing.T) {
+	ds, err := GenerateDatabase(DBParams{
+		N: 1, NMin: 10, NMax: 10, LMin: 50, LMax: 50, GenePool: 20, Seed: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.DB.Matrix(0)
+	c := Contaminate(m, randgen.New(21), 0.2, 1.0, 8)
+	if c.NumGenes() != m.NumGenes() || c.Samples() != m.Samples() {
+		t.Fatal("contamination changed shape")
+	}
+	// With geneRate 1, contaminated rows shift every column.
+	changedRows := 0
+	for i := 0; i < m.Samples(); i++ {
+		if c.Col(0)[i] != m.Col(0)[i] {
+			changedRows++
+		}
+	}
+	if changedRows == 0 {
+		t.Error("no rows contaminated at rate 0.2")
+	}
+	if changedRows > m.Samples()/2 {
+		t.Errorf("too many rows contaminated: %d", changedRows)
+	}
+}
+
+func TestContaminateZeroRateIsIdentity(t *testing.T) {
+	ds, err := GenerateDatabase(DBParams{
+		N: 1, NMin: 5, NMax: 5, LMin: 10, LMax: 10, GenePool: 10, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.DB.Matrix(0)
+	c := Contaminate(m, randgen.New(23), 0, 1, 8)
+	for j := 0; j < m.NumGenes(); j++ {
+		for i := 0; i < m.Samples(); i++ {
+			if c.Col(j)[i] != m.Col(j)[i] {
+				t.Fatal("zero-rate contamination changed values")
+			}
+		}
+	}
+}
+
+func TestContaminateCreatesOutliers(t *testing.T) {
+	ds, err := GenerateDatabase(DBParams{
+		N: 1, NMin: 5, NMax: 5, LMin: 200, LMax: 200, GenePool: 10, Seed: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ds.DB.Matrix(0)
+	c := Contaminate(m, randgen.New(25), 0.05, 1, 10)
+	// Expect values beyond 4 sigma of the original column somewhere.
+	found := false
+	for j := 0; j < c.NumGenes() && !found; j++ {
+		sigma := colStddev(m.Col(j))
+		for i := 0; i < c.Samples(); i++ {
+			if math.Abs(c.Col(j)[i]-m.Col(j)[i]) > 4*sigma {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Error("contamination produced no large outliers")
+	}
+}
+
+func TestRealDataset(t *testing.T) {
+	ds, err := RealDataset(9, 5, 8, 6, 10, 30, 40, 26)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.DB.Len() != 9 {
+		t.Fatalf("N = %d", ds.DB.Len())
+	}
+	for _, m := range ds.DB.Matrices() {
+		if m.NumGenes() < 5 || m.NumGenes() > 8 {
+			t.Errorf("genes = %d", m.NumGenes())
+		}
+		if m.Samples() < 6 || m.Samples() > 10 {
+			t.Errorf("samples = %d", m.Samples())
+		}
+		if ds.Truth[m.Source] == nil || ds.Truth[m.Source].N() != m.NumGenes() {
+			t.Error("truth missing or mis-sized")
+		}
+	}
+	// Three organisms contribute gene IDs from separate namespaces.
+	namespaces := make(map[int32]bool)
+	for _, g := range ds.DB.GeneUniverse() {
+		namespaces[int32(g)/1_000_000] = true
+	}
+	if len(namespaces) != 3 {
+		t.Errorf("expected 3 organism namespaces, got %d", len(namespaces))
+	}
+}
+
+func TestColStddev(t *testing.T) {
+	if got := colStddev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("constant stddev = %v", got)
+	}
+	if got := colStddev([]float64{0, 2}); got != 1 {
+		t.Errorf("stddev = %v, want 1", got)
+	}
+	if got := colStddev(nil); got != 0 {
+		t.Errorf("empty stddev = %v", got)
+	}
+}

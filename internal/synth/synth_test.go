@@ -1,0 +1,149 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/vecmath"
+)
+
+func TestGenerateMatrixShape(t *testing.T) {
+	rng := randgen.New(1)
+	m, truth, err := GenerateMatrix(rng, 7, SequentialIDs(0, 20), GenParams{Genes: 20, Samples: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumGenes() != 20 || m.Samples() != 15 || m.Source != 7 {
+		t.Fatalf("shape: %dx%d source %d", m.Samples(), m.NumGenes(), m.Source)
+	}
+	if truth.N() != 20 {
+		t.Errorf("truth size = %d", truth.N())
+	}
+	if truth.EdgeCount() == 0 {
+		t.Error("expected some ground-truth edges at deg=1")
+	}
+}
+
+func TestGenerateMatrixValidation(t *testing.T) {
+	rng := randgen.New(2)
+	if _, _, err := GenerateMatrix(rng, 0, SequentialIDs(0, 3), GenParams{Genes: 4, Samples: 10}); err == nil {
+		t.Error("gene-count mismatch should error")
+	}
+	if _, _, err := GenerateMatrix(rng, 0, SequentialIDs(0, 3), GenParams{Genes: 3, Samples: 1}); err == nil {
+		t.Error("single sample should error")
+	}
+}
+
+// TestGenerateMatrixSignal: ground-truth edges should show elevated
+// |correlation| relative to non-edges, on average — the property every
+// inference experiment relies on.
+func TestGenerateMatrixSignal(t *testing.T) {
+	rng := randgen.New(3)
+	m, truth, err := GenerateMatrix(rng, 0, SequentialIDs(0, 30), GenParams{Genes: 30, Samples: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edgeSum, nonSum float64
+	var edgeN, nonN int
+	for s := 0; s < 30; s++ {
+		for u := s + 1; u < 30; u++ {
+			c := math.Abs(vecmath.Dot(m.StdCol(s), m.StdCol(u)))
+			if truth.Has(s, u) {
+				edgeSum += c
+				edgeN++
+			} else {
+				nonSum += c
+				nonN++
+			}
+		}
+	}
+	if edgeN == 0 {
+		t.Skip("no edges drawn")
+	}
+	if edgeSum/float64(edgeN) <= nonSum/float64(nonN)+0.1 {
+		t.Errorf("edges |cor| %.3f not above non-edges %.3f",
+			edgeSum/float64(edgeN), nonSum/float64(nonN))
+	}
+}
+
+func TestWeightScaleWeakensSignal(t *testing.T) {
+	strong, truthS, err := GenerateMatrix(randgen.New(4), 0, SequentialIDs(0, 25),
+		GenParams{Genes: 25, Samples: 150, WeightScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, truthW, err := GenerateMatrix(randgen.New(4), 0, SequentialIDs(0, 25),
+		GenParams{Genes: 25, Samples: 150, WeightScale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(m interface {
+		StdCol(int) []float64
+	}, truth *Truth) float64 {
+		var sum float64
+		var n int
+		for s := 0; s < 25; s++ {
+			for u := s + 1; u < 25; u++ {
+				if truth.Has(s, u) {
+					sum += math.Abs(vecmath.Dot(m.StdCol(s), m.StdCol(u)))
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	if avg(weak, truthW) >= avg(strong, truthS) {
+		t.Error("WeightScale 0.2 should weaken edge correlations")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "Uni" || Gaussian.String() != "Gau" {
+		t.Error("distribution names wrong")
+	}
+	if Distribution(9).String() == "" {
+		t.Error("unknown distribution should still render")
+	}
+}
+
+func TestTruthOperations(t *testing.T) {
+	tr := newTruth(4)
+	tr.set(0, 2)
+	tr.set(2, 3)
+	if !tr.Has(2, 0) || tr.Has(0, 1) {
+		t.Error("Has wrong")
+	}
+	if tr.EdgeCount() != 2 {
+		t.Errorf("EdgeCount = %d", tr.EdgeCount())
+	}
+	nb := tr.Neighbors(2)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 3 {
+		t.Errorf("Neighbors = %v", nb)
+	}
+	sub := tr.Sub([]int{2, 0, 1})
+	if !sub.Has(0, 1) {
+		t.Error("Sub lost the (2,0) edge (should be (0,1) after remap)")
+	}
+	if sub.Has(0, 2) {
+		t.Error("Sub invented an edge")
+	}
+}
+
+func TestSampleIDsDistinct(t *testing.T) {
+	rng := randgen.New(5)
+	ids := SampleIDs(rng, 50, 20)
+	seen := make(map[int32]bool)
+	for _, id := range ids {
+		if seen[int32(id)] {
+			t.Fatal("duplicate gene ID sampled")
+		}
+		seen[int32(id)] = true
+		if id < 0 || int(id) >= 50 {
+			t.Fatalf("ID %d out of pool", id)
+		}
+	}
+}

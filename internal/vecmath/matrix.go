@@ -1,0 +1,309 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64.
+//
+// The zero value is an empty matrix. Use NewMatrix to allocate.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix allocates a Rows×Cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("vecmath: NewMatrix negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix from a slice of equal-length rows.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("vecmath: row %d has %d columns, want %d: %w", i, len(r), cols, ErrDimensionMismatch)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col copies column j into a new slice.
+func (m *Matrix) Col(j int) []float64 {
+	c := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		c[i] = m.Data[i*m.Cols+j]
+	}
+	return c
+}
+
+// SetCol overwrites column j with v.
+func (m *Matrix) SetCol(j int, v []float64) {
+	if len(v) != m.Rows {
+		panic("vecmath: SetCol length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+j] = v[i]
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Data[j*m.Rows+i] = m.Data[i*m.Cols+j]
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Matrix) (*Matrix, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("vecmath: Mul %dx%d by %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrDimensionMismatch)
+	}
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*b.Cols : (i+1)*b.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// Sub returns a − b element-wise.
+func Sub(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("vecmath: Sub %dx%d vs %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrDimensionMismatch)
+	}
+	out := NewMatrix(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v - b.Data[i]
+	}
+	return out, nil
+}
+
+// Add returns a + b element-wise.
+func Add(a, b *Matrix) (*Matrix, error) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return nil, fmt.Errorf("vecmath: Add %dx%d vs %dx%d: %w", a.Rows, a.Cols, b.Rows, b.Cols, ErrDimensionMismatch)
+	}
+	out := NewMatrix(a.Rows, a.Cols)
+	for i, v := range a.Data {
+		out.Data[i] = v + b.Data[i]
+	}
+	return out, nil
+}
+
+// ErrSingular is returned by Inverse when the matrix is numerically singular.
+var ErrSingular = fmt.Errorf("vecmath: singular matrix")
+
+// Inverse returns m⁻¹ computed by Gauss–Jordan elimination with partial
+// pivoting. The synthetic data generator uses it to evaluate the paper's
+// linear model M = E·(I − B)⁻¹.
+func Inverse(m *Matrix) (*Matrix, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("vecmath: Inverse of %dx%d: %w", m.Rows, m.Cols, ErrDimensionMismatch)
+	}
+	n := m.Rows
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivoting: pick the row with the largest magnitude in col.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Normalize the pivot row.
+		p := a.At(col, col)
+		Scale(a.Row(col), 1/p)
+		Scale(inv.Row(col), 1/p)
+		// Eliminate col from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			AXPY(-f, a.Row(col), a.Row(r))
+			AXPY(-f, inv.Row(col), inv.Row(r))
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Matrix, i, j int) {
+	ri, rj := m.Row(i), m.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// Solve solves the linear system a·x = b for x (b and x are column vectors)
+// using Gaussian elimination with partial pivoting.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols || a.Rows != len(b) {
+		return nil, ErrDimensionMismatch
+	}
+	n := a.Rows
+	aa := a.Clone()
+	x := Clone(b)
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(aa.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(aa.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(aa, pivot, col)
+			x[pivot], x[col] = x[col], x[pivot]
+		}
+		p := aa.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := aa.At(r, col) / p
+			if f == 0 {
+				continue
+			}
+			AXPY(-f, aa.Row(col), aa.Row(r))
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= aa.At(i, j) * x[j]
+		}
+		x[i] = s / aa.At(i, i)
+	}
+	return x, nil
+}
+
+// CorrelationMatrix returns the n×n matrix of signed Pearson correlations
+// between the columns of m (each column is one gene's feature vector).
+func CorrelationMatrix(m *Matrix) *Matrix {
+	n := m.Cols
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		c := m.Col(j)
+		Standardize(c)
+		cols[j] = c
+	}
+	out := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		out.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			r := Dot(cols[i], cols[j])
+			if r > 1 {
+				r = 1
+			} else if r < -1 {
+				r = -1
+			}
+			out.Set(i, j, r)
+			out.Set(j, i, r)
+		}
+	}
+	return out
+}
+
+// PartialCorrelations returns the matrix of pairwise partial correlations of
+// the columns of m, controlling for all remaining columns. It is computed
+// from the precision matrix P = R⁻¹ of the correlation matrix R via
+//
+//	pcor(i, j) = −P[i][j] / sqrt(P[i][i]·P[j][j]).
+//
+// When R is singular (e.g. more genes than samples) a ridge of eps is added
+// to the diagonal, the standard regularization for microarray data. This is
+// the pCorr competitor of the paper's Appendix H.
+func PartialCorrelations(m *Matrix, eps float64) (*Matrix, error) {
+	r := CorrelationMatrix(m)
+	n := r.Rows
+	if eps > 0 {
+		for i := 0; i < n; i++ {
+			r.Set(i, i, r.At(i, i)+eps)
+		}
+	}
+	p, err := Inverse(r)
+	if err != nil {
+		return nil, fmt.Errorf("vecmath: partial correlation: %w", err)
+	}
+	out := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		out.Set(i, i, 1)
+		for j := i + 1; j < n; j++ {
+			den := math.Sqrt(p.At(i, i) * p.At(j, j))
+			var pc float64
+			if den > 1e-30 {
+				pc = -p.At(i, j) / den
+			}
+			if pc > 1 {
+				pc = 1
+			} else if pc < -1 {
+				pc = -1
+			}
+			out.Set(i, j, pc)
+			out.Set(j, i, pc)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,304 @@
+package vecmath
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d, want 3x2", m.Rows, m.Cols)
+	}
+	if m.At(2, 1) != 6 {
+		t.Errorf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestNewMatrixFromRowsRagged(t *testing.T) {
+	_, err := NewMatrixFromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestRowColSetCol(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if r := m.Row(1); r[0] != 3 || r[1] != 4 {
+		t.Errorf("Row(1) = %v", r)
+	}
+	if c := m.Col(0); c[0] != 1 || c[1] != 3 {
+		t.Errorf("Col(0) = %v", c)
+	}
+	m.SetCol(1, []float64{9, 8})
+	if m.At(0, 1) != 9 || m.At(1, 1) != 8 {
+		t.Error("SetCol did not update values")
+	}
+	// Row aliases storage; Col copies.
+	m.Row(0)[0] = 42
+	if m.At(0, 0) != 42 {
+		t.Error("Row should alias storage")
+	}
+	c := m.Col(0)
+	c[0] = -1
+	if m.At(0, 0) == -1 {
+		t.Error("Col should copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape = %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulIdentityProperty(t *testing.T) {
+	rng := randgen.New(3)
+	f := func(seed uint64) bool {
+		r := randgen.New(seed ^ rng.Uint64())
+		n := 1 + r.Intn(6)
+		a := randomMatrix(r, n, n)
+		ai, err := Mul(a, Identity(n))
+		if err != nil {
+			return false
+		}
+		for i, v := range a.Data {
+			if !almostEqual(v, ai.Data[i], 1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := Mul(a, b); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}})
+	b, _ := NewMatrixFromRows([][]float64{{3, 5}})
+	s, err := Add(a, b)
+	if err != nil || s.At(0, 0) != 4 || s.At(0, 1) != 7 {
+		t.Errorf("Add = %v (err %v)", s, err)
+	}
+	d, err := Sub(b, a)
+	if err != nil || d.At(0, 0) != 2 || d.At(0, 1) != 3 {
+		t.Errorf("Sub = %v (err %v)", d, err)
+	}
+	if _, err := Add(a, NewMatrix(2, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("Add should reject shape mismatch")
+	}
+	if _, err := Sub(a, NewMatrix(2, 2)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("Sub should reject shape mismatch")
+	}
+}
+
+func TestInverseKnown(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.6, -0.7}, {-0.2, 0.4}}
+	for i := range want {
+		for j := range want[i] {
+			if !almostEqual(inv.At(i, j), want[i][j], 1e-12) {
+				t.Errorf("inv[%d][%d] = %v, want %v", i, j, inv.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(m); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverseNonSquare(t *testing.T) {
+	if _, err := Inverse(NewMatrix(2, 3)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("err = %v, want ErrDimensionMismatch", err)
+	}
+}
+
+// TestInverseProperty checks A·A⁻¹ = I on random diagonally dominant
+// (hence well-conditioned) matrices.
+func TestInverseProperty(t *testing.T) {
+	rng := randgen.New(4)
+	f := func(seed uint64) bool {
+		r := randgen.New(seed ^ rng.Uint64())
+		n := 1 + r.Intn(8)
+		a := randomMatrix(r, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1) // diagonal dominance
+		}
+		inv, err := Inverse(a)
+		if err != nil {
+			return false
+		}
+		prod, err := Mul(a, inv)
+		if err != nil {
+			return false
+		}
+		id := Identity(n)
+		for i, v := range prod.Data {
+			if !almostEqual(v, id.Data[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveAgainstInverse(t *testing.T) {
+	rng := randgen.New(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randomMatrix(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := randomVector(rng, n)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check a·x = b.
+		for i := 0; i < n; i++ {
+			if got := Dot(a.Row(i), x); !almostEqual(got, b[i], 1e-8) {
+				t.Fatalf("Solve residual at row %d: %v vs %v", i, got, b[i])
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	// Columns: x, 2x (cor 1), -x (cor -1 with both).
+	m, _ := NewMatrixFromRows([][]float64{
+		{1, 2, -1},
+		{2, 4, -2},
+		{3, 6, -3},
+		{5, 10, -5},
+	})
+	r := CorrelationMatrix(m)
+	if !almostEqual(r.At(0, 1), 1, 1e-9) {
+		t.Errorf("cor(x,2x) = %v, want 1", r.At(0, 1))
+	}
+	if !almostEqual(r.At(0, 2), -1, 1e-9) {
+		t.Errorf("cor(x,-x) = %v, want -1", r.At(0, 2))
+	}
+	for i := 0; i < 3; i++ {
+		if r.At(i, i) != 1 {
+			t.Errorf("diag[%d] = %v, want 1", i, r.At(i, i))
+		}
+		for j := 0; j < 3; j++ {
+			if r.At(i, j) != r.At(j, i) {
+				t.Error("correlation matrix not symmetric")
+			}
+		}
+	}
+}
+
+// TestPartialCorrelationsChain checks the defining property of partial
+// correlation on a causal chain x → y → z: cor(x, z) is high but the
+// partial correlation controlling for y vanishes.
+func TestPartialCorrelationsChain(t *testing.T) {
+	rng := randgen.New(6)
+	l := 4000
+	m := NewMatrix(l, 3)
+	for i := 0; i < l; i++ {
+		x := rng.Gaussian(0, 1)
+		y := 0.9*x + rng.Gaussian(0, 0.3)
+		z := 0.9*y + rng.Gaussian(0, 0.3)
+		m.Set(i, 0, x)
+		m.Set(i, 1, y)
+		m.Set(i, 2, z)
+	}
+	cm := CorrelationMatrix(m)
+	if math.Abs(cm.At(0, 2)) < 0.5 {
+		t.Fatalf("chain should induce marginal correlation, got %v", cm.At(0, 2))
+	}
+	pc, err := PartialCorrelations(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pc.At(0, 2)) > 0.1 {
+		t.Errorf("pcor(x,z|y) = %v, want ≈ 0", pc.At(0, 2))
+	}
+	if math.Abs(pc.At(0, 1)) < 0.5 {
+		t.Errorf("pcor(x,y|z) = %v, want strong", pc.At(0, 1))
+	}
+}
+
+func TestPartialCorrelationsRidgeRescuesSingular(t *testing.T) {
+	// Two identical columns make the correlation matrix singular.
+	m, _ := NewMatrixFromRows([][]float64{
+		{1, 1, 2}, {2, 2, 1}, {3, 3, 5}, {4, 4, 2},
+	})
+	if _, err := PartialCorrelations(m, 0); err == nil {
+		t.Skip("correlation matrix unexpectedly invertible") // numeric luck
+	}
+	if _, err := PartialCorrelations(m, 1e-2); err != nil {
+		t.Errorf("ridge should rescue singularity: %v", err)
+	}
+}
+
+func randomMatrix(rng *randgen.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Gaussian(0, 1)
+	}
+	return m
+}

@@ -1,0 +1,118 @@
+package imgrn_test
+
+import (
+	"bytes"
+	"testing"
+
+	imgrn "github.com/imgrn/imgrn"
+)
+
+// TestEngineLifecycle walks one engine through its whole life: build,
+// query, persist, reload, grow, shrink, re-query — verifying behavioural
+// equivalence at every step. This is the integration test a downstream
+// operator cares about.
+func TestEngineLifecycle(t *testing.T) {
+	db := buildPublicFixture(t, 10, 50)
+	params := imgrn.QueryParams{Gamma: 0.6, Alpha: 0.4, Seed: 51, Analytic: true}
+	qm, err := db.BySource(2).SubMatrix(-1, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build and baseline the answers.
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Samples: 24, Seed: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, _, err := eng.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(initial) == 0 {
+		t.Fatal("fixture query matched nothing")
+	}
+
+	// Persist and reload.
+	var buf bytes.Buffer
+	if err := eng.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := imgrn.OpenSaved(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, _, err := eng2.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, "reload", initial, reloaded)
+
+	// Grow the reloaded engine with a clone of source 0 under a new ID.
+	base := db.BySource(0)
+	genes := make([]imgrn.GeneID, base.NumGenes())
+	cols := make([][]float64, base.NumGenes())
+	for j := range genes {
+		genes[j] = base.Gene(j)
+		cols[j] = base.Col(j)
+	}
+	extra, err := imgrn.NewMatrix(777, genes, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.AddMatrix(extra); err != nil {
+		t.Fatal(err)
+	}
+	grown, _, err := eng2.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown) != len(initial)+1 {
+		t.Fatalf("after add: %d answers, want %d", len(grown), len(initial)+1)
+	}
+
+	// Persist the grown engine and reload it once more.
+	buf.Reset()
+	if err := eng2.SaveIndex(&buf); err != nil {
+		t.Fatal(err)
+	}
+	eng3, err := imgrn.OpenSaved(&buf, eng2.Database())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regrown, _, err := eng3.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, "grown reload", grown, regrown)
+
+	// Shrink back and verify we return to the initial answer set.
+	if err := eng3.RemoveMatrix(777); err != nil {
+		t.Fatal(err)
+	}
+	final, _, err := eng3.Query(qm, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, "after remove", initial, final)
+}
+
+func assertSameAnswers(t *testing.T, step string, want, got []imgrn.Answer) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d answers, want %d", step, len(got), len(want))
+	}
+	wantSet := make(map[int]float64, len(want))
+	for _, a := range want {
+		wantSet[a.Source] = a.Prob
+	}
+	for _, a := range got {
+		p, ok := wantSet[a.Source]
+		if !ok {
+			t.Errorf("%s: unexpected answer %d", step, a.Source)
+			continue
+		}
+		if p != a.Prob {
+			t.Errorf("%s: source %d Pr %v, want %v", step, a.Source, a.Prob, p)
+		}
+	}
+}
