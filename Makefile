@@ -12,8 +12,9 @@ build:
 test:
 	$(GO) test ./...
 
+# -short keeps the Monte Carlo sizes CI-friendly under the race detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -short ./...
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

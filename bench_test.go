@@ -7,6 +7,7 @@
 package imgrn_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -291,6 +292,43 @@ func BenchmarkQueryIMGRN(b *testing.B) {
 		if _, _, err := proc.Query(qb.queries[i%len(qb.queries)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkParallelQuery sweeps the intra-query worker budget over the
+// Fig. 6 query workload. Workers=1 is the exact sequential algorithm;
+// higher counts fan query inference and candidate verification out per
+// work unit. Samples is raised above the Fig. 6 default so the Monte
+// Carlo estimation — the component the worker pool parallelizes —
+// dominates, as in the paper's expensive-query regime. Each sub-run
+// reports its wall-clock speedup over the workers=1 sub-run (bounded by
+// GOMAXPROCS; on a single-CPU host it stays ~1).
+func BenchmarkParallelQuery(b *testing.B) {
+	qb := setupQueryBench(b, 16)
+	var seqNsPerOp float64
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			proc, err := core.NewProcessor(qb.idx, core.Params{
+				Gamma: 0.5, Alpha: 0.5, Samples: 2048, Seed: 16, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := proc.Query(qb.queries[i%len(qb.queries)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if workers == 1 {
+				seqNsPerOp = nsPerOp
+			} else if seqNsPerOp > 0 {
+				b.ReportMetric(seqNsPerOp/nsPerOp, "speedup")
+			}
+		})
 	}
 }
 

@@ -8,6 +8,11 @@
 //	imgrn-server -db db.imgrn -addr :8080
 //	imgrn-server -db db.imgrn -index idx.imgrn   # reuse a saved index
 //
+// Queries are served concurrently; -max-concurrent sheds excess load with
+// 503, -query-timeout bounds each query, and -workers sets the default
+// intra-query parallelism. SIGINT/SIGTERM drain in-flight requests before
+// exit (bounded by -shutdown-timeout).
+//
 // Example query:
 //
 //	curl -s localhost:8080/query-graph -d '{
@@ -18,10 +23,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/imgrn/imgrn/internal/gene"
@@ -31,11 +40,15 @@ import (
 
 func main() {
 	var (
-		dbPath  = flag.String("db", "", "database file (required)")
-		idxPath = flag.String("index", "", "saved index file (optional; built fresh when absent, and written here afterwards when set)")
-		addr    = flag.String("addr", ":8080", "listen address")
-		d       = flag.Int("d", 2, "pivots per matrix when building")
-		seed    = flag.Uint64("seed", 42, "random seed when building")
+		dbPath        = flag.String("db", "", "database file (required)")
+		idxPath       = flag.String("index", "", "saved index file (optional; built fresh when absent, and written here afterwards when set)")
+		addr          = flag.String("addr", ":8080", "listen address")
+		d             = flag.Int("d", 2, "pivots per matrix when building")
+		seed          = flag.Uint64("seed", 42, "random seed when building")
+		queryTimeout  = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock bound (0 disables)")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max in-flight query requests before shedding with 503 (0 = unbounded)")
+		workers       = flag.Int("workers", 0, "default intra-query parallelism (0 = sequential)")
+		drainTimeout  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -73,14 +86,43 @@ func main() {
 		}
 	}
 
+	h := server.New(idx, nil)
+	h.QueryTimeout = *queryTimeout
+	h.MaxConcurrent = *maxConcurrent
+	h.Workers = *workers
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(idx, nil),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	fmt.Printf("listening on %s\n", *addr)
-	if err := srv.ListenAndServe(); err != nil {
-		fatal(err)
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills immediately
+		fmt.Println("shutting down: draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "imgrn-server: forced shutdown:", err)
+			_ = srv.Close()
+			os.Exit(1)
+		}
+		fmt.Println("shutdown complete")
 	}
 }
 

@@ -2,10 +2,14 @@ package imgrn_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
 	imgrn "github.com/imgrn/imgrn"
+	"github.com/imgrn/imgrn/internal/randgen"
 )
 
 func TestEngineSaveIndexOpenSaved(t *testing.T) {
@@ -239,5 +243,126 @@ func TestEngineRejectsNilInputs(t *testing.T) {
 	}
 	if err := eng.AddMatrix(nil); err == nil {
 		t.Error("nil AddMatrix should error")
+	}
+}
+
+// TestEngineConcurrentMixedWorkload races queries against online index
+// mutations. The mutated sources (1000+i) carry genes disjoint from the
+// fixture's {0, 1, 2} module, so the fixed queries' answer sets must equal
+// the sequential run no matter how the operations interleave.
+func TestEngineConcurrentMixedWorkload(t *testing.T) {
+	db := buildPublicFixture(t, 16, 30)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Samples: 24, Seed: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := imgrn.QueryParams{Gamma: 0.6, Alpha: 0.4, Seed: 31, Analytic: true, Workers: 2}
+
+	queries := make([]*imgrn.Matrix, 6)
+	want := make([][]imgrn.Answer, len(queries))
+	for i := range queries {
+		qm, err := db.BySource(i).SubMatrix(-1, []int{0, 1, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries[i] = qm
+		want[i], _, err = eng.Query(qm, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// mkExtra builds a matrix over genes unrelated to the query module.
+	mkExtra := func(src int) *imgrn.Matrix {
+		rng := randgen.New(uint64(src) * 7)
+		genes := []imgrn.GeneID{imgrn.GeneID(2000 + src), imgrn.GeneID(3000 + src)}
+		cols := make([][]float64, len(genes))
+		for j := range cols {
+			col := make([]float64, 16)
+			for k := range col {
+				col[k] = rng.Gaussian(0, 1)
+			}
+			cols[j] = col
+		}
+		m, err := imgrn.NewMatrix(src, genes, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	// Mutators: add and remove disjoint extra sources.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				src := 1000 + w*10 + rep
+				if err := eng.AddMatrix(mkExtra(src)); err != nil {
+					errCh <- err
+					return
+				}
+				if err := eng.RemoveMatrix(src); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Queriers: answer sets must match the sequential run.
+	for i := range queries {
+		for rep := 0; rep < 3; rep++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, _, err := eng.Query(queries[i], params)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(got) != len(want[i]) {
+					errCh <- fmt.Errorf("query %d: %d answers, want %d", i, len(got), len(want[i]))
+					return
+				}
+				for k := range got {
+					if got[k].Source != want[i][k].Source || got[k].Prob != want[i][k].Prob {
+						errCh <- fmt.Errorf("query %d: answer %d differs", i, k)
+						return
+					}
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestEngineQueryContextCancellation(t *testing.T) {
+	db := buildPublicFixture(t, 10, 34)
+	eng, err := imgrn.Open(db, imgrn.IndexOptions{D: 2, Samples: 24, Seed: 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := db.BySource(0).SubMatrix(-1, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := imgrn.QueryParams{Gamma: 0.6, Alpha: 0.4, Seed: 35, Analytic: true}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := eng.QueryContext(ctx, qm, params); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryContext err = %v, want context.Canceled", err)
+	}
+	if _, _, err := eng.QueryTopKContext(ctx, qm, params, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("QueryTopKContext err = %v, want context.Canceled", err)
+	}
+	// A live context still answers.
+	if _, _, err := eng.QueryContext(context.Background(), qm, params); err != nil {
+		t.Fatalf("background QueryContext: %v", err)
 	}
 }

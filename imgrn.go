@@ -1,6 +1,7 @@
 package imgrn
 
 import (
+	"context"
 	"errors"
 	"io"
 	"sort"
@@ -75,14 +76,24 @@ var (
 )
 
 // Engine couples a database with its IM-GRN index and answers queries.
-// Methods are safe for concurrent use; queries are serialized internally
-// because per-query I/O accounting shares the index's page accountant.
-// Exact edge-probability estimates are memoized across queries with
-// identical estimator settings.
+// Methods are safe for concurrent use. Queries run concurrently: each
+// query gets its own execution context (a private page-access accountant
+// view plus an optional intra-query worker pool, see QueryParams.Workers)
+// and takes only a read lock, so many queries proceed in parallel.
+// Mutations (AddMatrix, RemoveMatrix) take the write lock and drain
+// in-flight queries first. Exact edge-probability estimates are memoized
+// across queries with identical estimator settings in a lock-striped
+// cache shared by concurrent queries.
 type Engine struct {
-	mu     sync.Mutex
-	idx    *index.Index
-	caches map[estimatorSig]*core.EdgeProbCache
+	// mu is the index lock: queries hold it for reading, mutations and
+	// serialization for writing.
+	mu  sync.RWMutex
+	idx *index.Index
+
+	// cacheMu guards the caches map alone; the caches themselves are
+	// internally synchronized.
+	cacheMu sync.Mutex
+	caches  map[estimatorSig]*core.EdgeProbCache
 }
 
 // estimatorSig identifies one estimator configuration: caches must not be
@@ -95,7 +106,7 @@ type estimatorSig struct {
 }
 
 // cacheFor returns (creating if needed) the probability cache matching the
-// estimator settings of params. Caller must hold e.mu.
+// estimator settings of params.
 func (e *Engine) cacheFor(params QueryParams) *core.EdgeProbCache {
 	sig := estimatorSig{
 		samples:  params.Samples,
@@ -103,6 +114,8 @@ func (e *Engine) cacheFor(params QueryParams) *core.EdgeProbCache {
 		analytic: params.Analytic,
 		oneSided: params.OneSided,
 	}
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
 	if e.caches == nil {
 		e.caches = make(map[estimatorSig]*core.EdgeProbCache)
 	}
@@ -117,7 +130,9 @@ func (e *Engine) cacheFor(params QueryParams) *core.EdgeProbCache {
 // invalidateCaches drops all memoized probabilities; called when the
 // underlying data changes.
 func (e *Engine) invalidateCaches() {
+	e.cacheMu.Lock()
 	e.caches = nil
+	e.cacheMu.Unlock()
 }
 
 // Open builds the IM-GRN index over db and returns a query engine.
@@ -161,33 +176,49 @@ func (e *Engine) IndexStats() index.BuildStats { return e.idx.Stats() }
 // params.Gamma and returns every database matrix whose inferred GRN
 // contains it with probability above params.Alpha.
 func (e *Engine) Query(mq *Matrix, params QueryParams) ([]Answer, QueryStats, error) {
+	return e.QueryContext(context.Background(), mq, params)
+}
+
+// QueryContext is Query under an explicit context: the query honors ctx
+// cancellation and deadlines at traversal and refinement loop boundaries
+// (returning ctx.Err()), and params.Workers > 1 parallelizes candidate
+// refinement and Monte Carlo query inference within the query. Concurrent
+// QueryContext calls proceed in parallel, each with its own page-access
+// accounting.
+func (e *Engine) QueryContext(ctx context.Context, mq *Matrix, params QueryParams) ([]Answer, QueryStats, error) {
 	if mq == nil {
 		return nil, QueryStats{}, errNilQuery
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	params.Cache = e.cacheFor(params)
 	proc, err := core.NewProcessor(e.idx, params)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return proc.Query(mq)
+	return proc.QueryContext(ctx, mq)
 }
 
 // QueryGraph answers an IM-GRN query for an already-constructed query GRN
 // (e.g. a hand-curated biomarker pattern).
 func (e *Engine) QueryGraph(q *Graph, params QueryParams) ([]Answer, QueryStats, error) {
+	return e.QueryGraphContext(context.Background(), q, params)
+}
+
+// QueryGraphContext is QueryGraph under an explicit context; see
+// QueryContext for the context and concurrency semantics.
+func (e *Engine) QueryGraphContext(ctx context.Context, q *Graph, params QueryParams) ([]Answer, QueryStats, error) {
 	if q == nil {
 		return nil, QueryStats{}, errNilQuery
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	params.Cache = e.cacheFor(params)
 	proc, err := core.NewProcessor(e.idx, params)
 	if err != nil {
 		return nil, QueryStats{}, err
 	}
-	return proc.QueryGraph(q)
+	return proc.QueryGraphContext(ctx, q)
 }
 
 // AddMatrix indexes a new data source online. The matrix becomes
@@ -218,7 +249,13 @@ func (e *Engine) RemoveMatrix(source int) error {
 // the highest appearance probability (ties break toward smaller source
 // IDs). k <= 0 returns all matches ranked.
 func (e *Engine) QueryTopK(mq *Matrix, params QueryParams, k int) ([]Answer, QueryStats, error) {
-	answers, stats, err := e.Query(mq, params)
+	return e.QueryTopKContext(context.Background(), mq, params, k)
+}
+
+// QueryTopKContext is QueryTopK under an explicit context; see
+// QueryContext for the context and concurrency semantics.
+func (e *Engine) QueryTopKContext(ctx context.Context, mq *Matrix, params QueryParams, k int) ([]Answer, QueryStats, error) {
+	answers, stats, err := e.QueryContext(ctx, mq, params)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -243,6 +280,8 @@ func (e *Engine) InferGraph(m *Matrix, params QueryParams) (*Graph, error) {
 	if m == nil {
 		return nil, errNilQuery
 	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	proc, err := core.NewProcessor(e.idx, params)
 	if err != nil {
 		return nil, err

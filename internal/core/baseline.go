@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -109,6 +110,14 @@ func (b *Baseline) Prob(source, s, t int) (float64, error) {
 // all pre-computed probability data (charged as page I/O), materialize each
 // G_i w.r.t. γ and subgraph-match Q against it.
 func (b *Baseline) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
+	return b.QueryContext(context.Background(), mq)
+}
+
+// QueryContext is Query under an explicit context; cancellation is honored
+// between matrices of the scan. The RNG streams are shared across queries
+// (as in the original offline design), so a Baseline must not serve
+// concurrent queries.
+func (b *Baseline) QueryContext(ctx context.Context, mq *gene.Matrix) ([]Answer, Stats, error) {
 	var st Stats
 	start := time.Now()
 	b.acc.ResetStats()
@@ -127,7 +136,10 @@ func (b *Baseline) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
 	st.QueryVertices = q.NumVertices()
 	st.QueryEdges = q.NumEdges()
 
-	answers := b.queryWithGraph(q, &st)
+	answers, err := b.queryWithGraph(ctx, q, &st)
+	if err != nil {
+		return nil, st, err
+	}
 	st.IOCost = b.acc.Stats().Accesses
 	st.Total = time.Since(start)
 	st.Answers = len(answers)
@@ -136,19 +148,27 @@ func (b *Baseline) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
 
 // QueryGraph runs the baseline for an already-inferred query GRN.
 func (b *Baseline) QueryGraph(q *grn.Graph) ([]Answer, Stats, error) {
+	return b.QueryGraphContext(context.Background(), q)
+}
+
+// QueryGraphContext is QueryGraph under an explicit context.
+func (b *Baseline) QueryGraphContext(ctx context.Context, q *grn.Graph) ([]Answer, Stats, error) {
 	var st Stats
 	start := time.Now()
 	b.acc.ResetStats()
 	st.QueryVertices = q.NumVertices()
 	st.QueryEdges = q.NumEdges()
-	answers := b.queryWithGraph(q, &st)
+	answers, err := b.queryWithGraph(ctx, q, &st)
+	if err != nil {
+		return nil, st, err
+	}
 	st.IOCost = b.acc.Stats().Accesses
 	st.Total = time.Since(start)
 	st.Answers = len(answers)
 	return answers, st, nil
 }
 
-func (b *Baseline) queryWithGraph(q *grn.Graph, st *Stats) []Answer {
+func (b *Baseline) queryWithGraph(ctx context.Context, q *grn.Graph, st *Stats) ([]Answer, error) {
 	tStart := time.Now()
 	gamma, alpha := b.params.Gamma, b.params.Alpha
 	var answers []Answer
@@ -165,6 +185,9 @@ func (b *Baseline) queryWithGraph(q *grn.Graph, st *Stats) []Answer {
 	}
 	candGenes := 0
 	for _, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m := b.db.BySource(src)
 		n := b.n[src]
 		tri := b.probs[src]
@@ -203,5 +226,5 @@ func (b *Baseline) queryWithGraph(q *grn.Graph, st *Stats) []Answer {
 	}
 	st.CandidateGenes = candGenes
 	st.Traversal = time.Since(tStart)
-	return answers
+	return answers, nil
 }

@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // EdgeProbCache memoizes exact edge-probability estimates across queries.
 // The Monte Carlo estimate of one gene pair is the expensive unit of
@@ -10,14 +13,24 @@ import "sync"
 //
 // A cache is only valid for one estimator configuration (seed, sample
 // count, analytic/one-sided flags); the Engine keys caches by that
-// configuration. Safe for concurrent use.
+// configuration. Safe for concurrent use: the key space is lock-striped
+// across shards so parallel refinement workers and concurrent queries do
+// not contend on a single mutex, and hit/miss totals are kept in atomic
+// counters.
 type EdgeProbCache struct {
+	shards []cacheShard
+	mask   uint64
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// cacheShard owns one stripe of the key space. Entries are immutable and
+// cheap to recompute, so a simple FIFO bound per shard is enough.
+type cacheShard struct {
 	mu       sync.Mutex
 	capacity int
 	m        map[edgeKey]float64
-	// fifo holds insertion order for bounded eviction; a simple FIFO is
-	// enough because entries are immutable and cheap to recompute.
-	fifo []edgeKey
+	fifo     []edgeKey
 }
 
 type edgeKey struct {
@@ -25,13 +38,28 @@ type edgeKey struct {
 	a, b   int
 }
 
+// cacheShards is the stripe count for large caches; small caches collapse
+// to one shard so the configured capacity bound stays exact.
+const cacheShards = 16
+
 // NewEdgeProbCache returns a cache bounded to capacity entries
-// (65536 when capacity <= 0).
+// (65536 when capacity <= 0). Capacities below one page per stripe use a
+// single shard.
 func NewEdgeProbCache(capacity int) *EdgeProbCache {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &EdgeProbCache{capacity: capacity, m: make(map[edgeKey]float64)}
+	shards := cacheShards
+	if capacity < 16*cacheShards {
+		shards = 1
+	}
+	c := &EdgeProbCache{shards: make([]cacheShard, shards), mask: uint64(shards - 1)}
+	per := (capacity + shards - 1) / shards
+	for i := range c.shards {
+		c.shards[i].capacity = per
+		c.shards[i].m = make(map[edgeKey]float64)
+	}
+	return c
 }
 
 func canonicalKey(source, a, b int) edgeKey {
@@ -41,36 +69,71 @@ func canonicalKey(source, a, b int) edgeKey {
 	return edgeKey{source: source, a: a, b: b}
 }
 
-// Get returns the cached probability of edge (a, b) in the given source.
+// shardOf routes a key to its stripe with a SplitMix64-style mix so
+// consecutive column indices spread across shards.
+func (c *EdgeProbCache) shardOf(k edgeKey) *cacheShard {
+	z := uint64(k.source)*0x9e3779b97f4a7c15 ^ uint64(k.a)*0xbf58476d1ce4e5b9 ^ uint64(k.b)*0x94d049bb133111eb
+	z ^= z >> 29
+	z *= 0xff51afd7ed558ccd
+	z ^= z >> 32
+	return &c.shards[z&c.mask]
+}
+
+// Get returns the cached probability of edge (a, b) in the given source
+// and records a hit or miss.
 func (c *EdgeProbCache) Get(source, a, b int) (float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	p, ok := c.m[canonicalKey(source, a, b)]
+	k := canonicalKey(source, a, b)
+	s := c.shardOf(k)
+	s.mu.Lock()
+	p, ok := s.m[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return p, ok
 }
 
-// Put stores the probability of edge (a, b), evicting the oldest entry
-// when full.
+// Put stores the probability of edge (a, b), evicting the oldest entry of
+// the key's shard when that shard is full.
 func (c *EdgeProbCache) Put(source, a, b int, p float64) {
-	key := canonicalKey(source, a, b)
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, exists := c.m[key]; exists {
-		c.m[key] = p
+	k := canonicalKey(source, a, b)
+	s := c.shardOf(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[k]; exists {
+		s.m[k] = p
 		return
 	}
-	if len(c.m) >= c.capacity {
-		oldest := c.fifo[0]
-		c.fifo = c.fifo[1:]
-		delete(c.m, oldest)
+	if len(s.m) >= s.capacity {
+		oldest := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		delete(s.m, oldest)
 	}
-	c.m[key] = p
-	c.fifo = append(c.fifo, key)
+	s.m[k] = p
+	s.fifo = append(s.fifo, k)
 }
 
-// Len returns the number of cached entries.
+// Len returns the number of cached entries across all shards.
 func (c *EdgeProbCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats aggregates cache effectiveness counters since creation.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats returns the lifetime hit/miss totals of the cache.
+func (c *EdgeProbCache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load()}
 }

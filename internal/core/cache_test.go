@@ -81,6 +81,70 @@ func TestEdgeProbCacheConcurrent(t *testing.T) {
 	}
 }
 
+func TestEdgeProbCacheStats(t *testing.T) {
+	c := NewEdgeProbCache(16)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("fresh cache stats = %+v", st)
+	}
+	c.Get(1, 2, 3) // miss
+	c.Put(1, 2, 3, 0.5)
+	c.Get(1, 2, 3) // hit
+	c.Get(1, 3, 2) // hit (canonical key)
+	c.Get(9, 2, 3) // miss
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 hits, 2 misses", st)
+	}
+}
+
+func TestEdgeProbCacheShardedCapacity(t *testing.T) {
+	// Large capacities stripe across shards; the total bound must hold and
+	// no entry may vanish before the cache fills.
+	const capacity = 1 << 10
+	c := NewEdgeProbCache(capacity)
+	for i := 0; i < capacity/2; i++ {
+		c.Put(i, 0, 1, float64(i))
+	}
+	for i := 0; i < capacity/2; i++ {
+		if p, ok := c.Get(i, 0, 1); !ok || p != float64(i) {
+			t.Fatalf("entry %d lost before capacity: %v, %v", i, p, ok)
+		}
+	}
+	for i := capacity / 2; i < 4*capacity; i++ {
+		c.Put(i, 0, 1, float64(i))
+	}
+	if n := c.Len(); n > capacity {
+		t.Fatalf("Len = %d exceeds capacity %d", n, capacity)
+	}
+}
+
+func TestCacheStatsSurfaceInQueryStats(t *testing.T) {
+	ds, idx := buildFixture(t, 74)
+	mq, _, err := ds.ExtractQuery(randgen.New(75), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Gamma: 0.4, Alpha: 0.2, Seed: 76, Samples: 32, Cache: NewEdgeProbCache(0)}
+	proc, err := NewProcessor(idx, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st1, err := proc.Query(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheHits != 0 {
+		t.Errorf("first query reported %d hits on a cold cache", st1.CacheHits)
+	}
+	_, st2, err := proc.Query(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.CacheMisses > 0 && st2.CacheHits == 0 {
+		t.Errorf("repeat query reported no cache hits (first run: %d misses)", st1.CacheMisses)
+	}
+}
+
 // TestCachedQueriesConsistent: with a shared cache, two identical queries
 // return identical probabilities (MC noise memoized away), and results
 // match the uncached run of the same processor seed.

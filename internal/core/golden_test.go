@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// TestSequentialGoldenFingerprint pins the sequential (Workers <= 1) query
+// path to a fixed-seed fingerprint captured before the concurrency
+// refactor: answers, probabilities, and every Stats counter must stay
+// byte-identical across refactors. Regenerate deliberately with
+// GOLDEN_WRITE=1 after an intentional algorithm change.
+func TestSequentialGoldenFingerprint(t *testing.T) {
+	ds, err := synth.GenerateDatabase(synth.DBParams{N: 120, NMin: 20, NMax: 40, LMin: 20, LMax: 30, Seed: 7, Dist: synth.Gaussian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(ds.DB, index.Options{D: 2, Samples: 24, Seed: 7, Bits: 512, BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := core.NewProcessor(idx, core.Params{Gamma: 0.5, Alpha: 0.4, Samples: 48, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randgen.New(99)
+	var sb strings.Builder
+	for i := 0; i < 6; i++ {
+		q, _, err := ds.ExtractQuery(rng, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, st, err := proc.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&sb, "q%d answers=%d io=%d cand=%d genes=%d l5=%d npv=%d npp=%d ppc=%d ppp=%d qv=%d qe=%d\n",
+			i, len(a), st.IOCost, st.CandidateMatrices, st.CandidateGenes, st.MatricesPrunedL5,
+			st.NodePairsVisited, st.NodePairsPruned, st.PointPairsChecked, st.PointPairsPruned,
+			st.QueryVertices, st.QueryEdges)
+		for _, an := range a {
+			fmt.Fprintf(&sb, "  src=%d prob=%.17g edges=%d\n", an.Source, an.Prob, len(an.Edges))
+		}
+	}
+	got := sb.String()
+	if os.Getenv("GOLDEN_WRITE") == "1" {
+		if err := os.WriteFile("testdata/golden.txt", []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("golden written")
+		return
+	}
+	want, err := os.ReadFile("testdata/golden.txt")
+	if err != nil {
+		t.Fatal("testdata/golden.txt missing; run once with GOLDEN_WRITE=1 to capture")
+	}
+	if got != string(want) {
+		t.Errorf("fixed-seed output diverged from golden:\n got:\n%s\nwant:\n%s", got, string(want))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -51,6 +52,13 @@ func NewLinearScan(db *gene.Database, params Params) (*LinearScan, error) {
 
 // Query answers an IM-GRN query by pruned linear scan.
 func (ls *LinearScan) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
+	return ls.QueryContext(context.Background(), mq)
+}
+
+// QueryContext is Query under an explicit context; cancellation is honored
+// between matrices of the scan. The RNG streams are shared across queries,
+// so a LinearScan must not serve concurrent queries.
+func (ls *LinearScan) QueryContext(ctx context.Context, mq *gene.Matrix) ([]Answer, Stats, error) {
 	var st Stats
 	start := time.Now()
 	ls.acc.ResetStats()
@@ -67,7 +75,10 @@ func (ls *LinearScan) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
 	st.InferQuery = time.Since(start)
 	st.QueryVertices = q.NumVertices()
 	st.QueryEdges = q.NumEdges()
-	answers := ls.queryWithGraph(q, &st)
+	answers, err := ls.queryWithGraph(ctx, q, &st)
+	if err != nil {
+		return nil, st, err
+	}
 	st.IOCost = ls.acc.Stats().Accesses
 	st.Total = time.Since(start)
 	st.Answers = len(answers)
@@ -76,21 +87,29 @@ func (ls *LinearScan) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
 
 // QueryGraph runs the linear scan for an already-inferred query GRN.
 func (ls *LinearScan) QueryGraph(q *grn.Graph) ([]Answer, Stats, error) {
+	return ls.QueryGraphContext(context.Background(), q)
+}
+
+// QueryGraphContext is QueryGraph under an explicit context.
+func (ls *LinearScan) QueryGraphContext(ctx context.Context, q *grn.Graph) ([]Answer, Stats, error) {
 	var st Stats
 	start := time.Now()
 	ls.acc.ResetStats()
 	st.QueryVertices = q.NumVertices()
 	st.QueryEdges = q.NumEdges()
-	answers := ls.queryWithGraph(q, &st)
+	answers, err := ls.queryWithGraph(ctx, q, &st)
+	if err != nil {
+		return nil, st, err
+	}
 	st.IOCost = ls.acc.Stats().Accesses
 	st.Total = time.Since(start)
 	st.Answers = len(answers)
 	return answers, st, nil
 }
 
-func (ls *LinearScan) queryWithGraph(q *grn.Graph, st *Stats) []Answer {
+func (ls *LinearScan) queryWithGraph(ctx context.Context, q *grn.Graph, st *Stats) ([]Answer, error) {
 	if hasDuplicateGenes(q) {
-		return nil // unique per-matrix labels make injective embedding impossible
+		return nil, nil // unique per-matrix labels make injective embedding impossible
 	}
 	tStart := time.Now()
 	qEdges := q.Edges()
@@ -106,6 +125,9 @@ func (ls *LinearScan) queryWithGraph(q *grn.Graph, st *Stats) []Answer {
 
 	colBytes := func(m *gene.Matrix) int { return m.Samples() * 8 }
 	for _, src := range sources {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		m := ls.db.BySource(src)
 		cols := make([]int, q.NumVertices())
 		ok := true
@@ -181,5 +203,5 @@ func (ls *LinearScan) queryWithGraph(q *grn.Graph, st *Stats) []Answer {
 	}
 	st.CandidateGenes = len(candGenes)
 	st.Traversal = time.Since(tStart)
-	return answers
+	return answers, nil
 }

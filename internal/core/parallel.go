@@ -1,0 +1,113 @@
+package core
+
+import (
+	"github.com/imgrn/imgrn/internal/exec"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/pagestore"
+	"github.com/imgrn/imgrn/internal/randgen"
+)
+
+// Parallel execution paths (params.Workers > 1).
+//
+// Schedule independence is the invariant: answers and statistics of a
+// parallel query are a pure function of (index contents, Params) — never of
+// the goroutine schedule. Two rules enforce it:
+//
+//  1. Randomness is addressed by work unit, not by goroutine. Each work
+//     unit (candidate matrix, query gene pair) derives its scorer and
+//     pruner seeds from the query Seed and its own coordinates via
+//     randgen.SeedFrom, so whichever worker picks it up draws the same
+//     sample stream.
+//  2. Workers only write into their own pre-assigned slot of a results
+//     slice; aggregation into answers, Stats, and the query's I/O reader
+//     happens afterwards, sequentially, in index order.
+//
+// Note that the Workers > 1 sample streams intentionally differ from the
+// single sequential stream of Workers <= 1 (which remains byte-identical to
+// the pre-parallel implementation); both are deterministic under a fixed
+// Seed.
+
+// scorerFor returns a scorer/pruner pair whose streams are determined by
+// the query seed and the work-unit coordinates alone.
+func (p *Processor) scorerFor(coords ...uint64) (*grn.RandomizedScorer, *grn.Pruner) {
+	sc := grn.NewRandomizedScorer(randgen.SeedFrom(p.params.Seed^seedScorer, coords...), p.params.Samples)
+	sc.OneSided = p.params.OneSided
+	pr := grn.NewPruner(randgen.SeedFrom(p.params.Seed^seedPruner, coords...), p.params.BoundSamples)
+	pr.OneSided = p.params.OneSided
+	return sc, pr
+}
+
+// refineParallel verifies the candidate matrices concurrently: one work
+// unit per candidate, each with its own scorer/pruner streams (seeded from
+// the source ID) and its own sub-reader charging a private cold page
+// buffer. Outcomes are aggregated in source order.
+func (p *Processor) refineParallel(ec *exec.Context, q *grn.Graph, sources []int, st *Stats) ([]Answer, error) {
+	qEdges := q.Edges()
+	outcomes := make([]candOutcome, len(sources))
+	readers := make([]*pagestore.Reader, len(sources))
+	err := ec.ForEach(len(sources), func(i int) error {
+		src := sources[i]
+		sc, pr := p.scorerFor(uint64(int64(src)))
+		sub := ec.IO().SubReader()
+		var bufs colBufs
+		outcomes[i] = p.verifyCandidate(sub, q, qEdges, src, sc, pr, &bufs)
+		readers[i] = sub
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var answers []Answer
+	for i, o := range outcomes {
+		if readers[i] != nil {
+			ec.IO().AddStats(readers[i].Stats())
+		}
+		st.applyCandidate(o)
+		if o.answer != nil {
+			answers = append(answers, *o.answer)
+		}
+	}
+	return answers, nil
+}
+
+// inferPrunedParallel is the Workers > 1 counterpart of grn.InferPruned:
+// the O(n²) pair estimates of query-graph inference fan out across the
+// worker pool, one work unit per informative gene pair, each drawing from
+// a (Seed, s, t)-addressed stream. The graph is assembled in pair order.
+func (p *Processor) inferPrunedParallel(ec *exec.Context, mq *gene.Matrix) (*grn.Graph, error) {
+	n := mq.NumGenes()
+	type pair struct{ s, t int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for s := 0; s < n; s++ {
+		if !mq.Informative(s) {
+			continue
+		}
+		for t := s + 1; t < n; t++ {
+			if mq.Informative(t) {
+				pairs = append(pairs, pair{s, t})
+			}
+		}
+	}
+	scores := make([]float64, len(pairs))
+	err := ec.ForEach(len(pairs), func(i int) error {
+		s, t := pairs[i].s, pairs[i].t
+		sc, pr := p.scorerFor(uint64(s), uint64(t))
+		if pr.UpperBound(mq.StdCol(s), mq.StdCol(t)) <= p.params.Gamma {
+			scores[i] = 0 // Lemma 3: the edge cannot clear gamma
+			return nil
+		}
+		scores[i] = sc.Score(mq, s, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := grn.NewGraph(mq.Genes())
+	for i, pe := range pairs {
+		if scores[i] > p.params.Gamma {
+			g.SetEdge(pe.s, pe.t, scores[i])
+		}
+	}
+	return g, nil
+}

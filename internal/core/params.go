@@ -41,6 +41,15 @@ type Params struct {
 	// correlations are interactions too; all pruning bounds adapt.
 	OneSided bool
 
+	// Workers bounds intra-query parallelism: candidate refinement and
+	// Monte Carlo query-graph inference fan out across up to Workers
+	// goroutines. 0 or 1 runs the exact sequential algorithm (one RNG
+	// stream, byte-identical to the pre-parallel implementation under a
+	// fixed Seed). For Workers > 1 every work unit (candidate matrix, gene
+	// pair) derives its randomness from (Seed, unit) alone, so answers are
+	// deterministic regardless of the goroutine schedule.
+	Workers int
+
 	// Cache optionally memoizes exact edge-probability estimates across
 	// queries. The cache must only be shared among queries with identical
 	// estimator settings (Samples, Seed, Analytic, OneSided); the public
@@ -111,6 +120,11 @@ type Stats struct {
 	CandidateMatrices int
 	MatricesPrunedL5  int // candidate matrices removed by Lemma 5
 	Answers           int
+
+	// Edge-probability cache effectiveness during refinement (zero when no
+	// cache is configured).
+	CacheHits   int
+	CacheMisses int
 
 	// Query graph shape.
 	QueryVertices int

@@ -2,20 +2,29 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
 	"github.com/imgrn/imgrn/internal/bitvec"
+	"github.com/imgrn/imgrn/internal/exec"
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/grn"
 	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/pagestore"
 	"github.com/imgrn/imgrn/internal/rstar"
 	"github.com/imgrn/imgrn/internal/vecmath"
 )
 
 // Processor answers IM-GRN queries over one index (Figure 4).
+//
+// A Processor is cheap to construct and is NOT safe for concurrent use in
+// the sequential (Workers <= 1) mode: the Monte Carlo scorer and pruner
+// advance a single deterministic RNG stream across queries. Create one
+// Processor per in-flight query (the public Engine does exactly that) and
+// use QueryContext to attach cancellation, deadlines, and a worker budget.
 type Processor struct {
 	idx    *index.Index
 	params Params
@@ -30,9 +39,9 @@ func NewProcessor(idx *index.Index, params Params) (*Processor, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	sc := grn.NewRandomizedScorer(params.Seed^0xa5b35705f39c2d17, params.Samples)
+	sc := grn.NewRandomizedScorer(params.Seed^seedScorer, params.Samples)
 	sc.OneSided = params.OneSided
-	pr := grn.NewPruner(params.Seed^0x94d049bb133111eb, params.BoundSamples)
+	pr := grn.NewPruner(params.Seed^seedPruner, params.BoundSamples)
 	pr.OneSided = params.OneSided
 	return &Processor{
 		idx:      idx,
@@ -43,12 +52,28 @@ func NewProcessor(idx *index.Index, params Params) (*Processor, error) {
 	}, nil
 }
 
+// Seed-space separation constants: the scorer and pruner streams must stay
+// distinct, and the parallel path derives per-work-unit seeds from the
+// same constants so Workers = 1 and the pre-parallel implementation agree.
+const (
+	seedScorer = 0xa5b35705f39c2d17
+	seedPruner = 0x94d049bb133111eb
+)
+
 // Params returns the processor's parameters.
 func (p *Processor) Params() Params { return p.params }
 
-// edgeProbVec computes the exact edge existence probability of two
-// standardized vectors under the configured estimator.
-func (p *Processor) edgeProbVec(xa, xb []float64) float64 {
+// newExec builds the per-query execution context: the caller's ctx, a
+// fresh per-query I/O reader (cold buffer, private counters), and the
+// configured worker budget.
+func (p *Processor) newExec(ctx context.Context) *exec.Context {
+	return exec.New(ctx, p.idx.NewReader(), p.params.Workers)
+}
+
+// edgeProbVecWith computes the exact edge existence probability of two
+// standardized vectors under the configured estimator, drawing Monte Carlo
+// samples from the given scorer's stream.
+func (p *Processor) edgeProbVecWith(sc *grn.RandomizedScorer, xa, xb []float64) float64 {
 	if p.params.Analytic {
 		l := len(xa)
 		if l < 2 {
@@ -62,9 +87,9 @@ func (p *Processor) edgeProbVec(xa, xb []float64) float64 {
 		return 2*stdNormalCDF(math.Abs(cor)*z) - 1
 	}
 	if p.params.OneSided {
-		return p.scorer.Est.EdgeProbability(xa, xb, p.scorer.Samples)
+		return sc.Est.EdgeProbability(xa, xb, sc.Samples)
 	}
-	return p.scorer.Est.AbsEdgeProbability(xa, xb, p.scorer.Samples)
+	return sc.Est.AbsEdgeProbability(xa, xb, sc.Samples)
 }
 
 func stdNormalCDF(x float64) float64 {
@@ -75,8 +100,19 @@ func stdNormalCDF(x float64) float64 {
 // (Fig. 4 line 1), with Lemma-3 edge inference pruning ahead of each
 // Monte Carlo estimate.
 func (p *Processor) InferQueryGraph(mq *gene.Matrix) (*grn.Graph, error) {
+	return p.inferQueryGraph(exec.Background(nil), mq)
+}
+
+// inferQueryGraph is InferQueryGraph under an execution context: with a
+// worker budget it fans the O(n²) pair estimates out with per-pair seeds
+// (see inferPrunedParallel); sequentially it reproduces the single-stream
+// algorithm exactly.
+func (p *Processor) inferQueryGraph(ec *exec.Context, mq *gene.Matrix) (*grn.Graph, error) {
 	if p.params.Analytic {
 		return grn.Infer(mq, p.analytic, p.params.Gamma)
+	}
+	if ec.Parallel() {
+		return p.inferPrunedParallel(ec, mq)
 	}
 	g, _, err := grn.InferPruned(mq, p.scorer, p.pruner, p.params.Gamma)
 	return g, err
@@ -114,12 +150,20 @@ type candidatePair struct {
 // returns the matching data sources with statistics. Results are sorted by
 // data source ID.
 func (p *Processor) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
+	return p.QueryContext(context.Background(), mq)
+}
+
+// QueryContext is Query under an explicit context: traversal and
+// refinement honor ctx cancellation and deadlines at loop boundaries, and
+// params.Workers > 1 parallelizes query inference and candidate
+// refinement across a bounded worker pool.
+func (p *Processor) QueryContext(ctx context.Context, mq *gene.Matrix) ([]Answer, Stats, error) {
 	var st Stats
 	start := time.Now()
-	p.idx.Accountant().ResetStats()
+	ec := p.newExec(ctx)
 
 	// Line 1: infer the exact query graph Q.
-	q, err := p.InferQueryGraph(mq)
+	q, err := p.inferQueryGraph(ec, mq)
 	if err != nil {
 		return nil, st, fmt.Errorf("core: inferring query graph: %w", err)
 	}
@@ -127,11 +171,11 @@ func (p *Processor) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
 	st.QueryVertices = q.NumVertices()
 	st.QueryEdges = q.NumEdges()
 
-	answers, err := p.queryWithGraph(q, &st)
+	answers, err := p.queryWithGraph(ec, q, &st)
 	if err != nil {
 		return nil, st, err
 	}
-	st.IOCost = p.idx.Accountant().Stats().Accesses
+	st.IOCost = ec.IO().Stats().Accesses
 	st.Total = time.Since(start)
 	st.Answers = len(answers)
 	return answers, st, nil
@@ -140,22 +184,27 @@ func (p *Processor) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
 // QueryGraph answers an IM-GRN query for an already-inferred query GRN,
 // e.g. a hand-drawn biomarker pattern.
 func (p *Processor) QueryGraph(q *grn.Graph) ([]Answer, Stats, error) {
+	return p.QueryGraphContext(context.Background(), q)
+}
+
+// QueryGraphContext is QueryGraph under an explicit context.
+func (p *Processor) QueryGraphContext(ctx context.Context, q *grn.Graph) ([]Answer, Stats, error) {
 	var st Stats
 	start := time.Now()
-	p.idx.Accountant().ResetStats()
+	ec := p.newExec(ctx)
 	st.QueryVertices = q.NumVertices()
 	st.QueryEdges = q.NumEdges()
-	answers, err := p.queryWithGraph(q, &st)
+	answers, err := p.queryWithGraph(ec, q, &st)
 	if err != nil {
 		return nil, st, err
 	}
-	st.IOCost = p.idx.Accountant().Stats().Accesses
+	st.IOCost = ec.IO().Stats().Accesses
 	st.Total = time.Since(start)
 	st.Answers = len(answers)
 	return answers, st, nil
 }
 
-func (p *Processor) queryWithGraph(q *grn.Graph, st *Stats) ([]Answer, error) {
+func (p *Processor) queryWithGraph(ec *exec.Context, q *grn.Graph, st *Stats) ([]Answer, error) {
 	// Gene labels are unique within every matrix, so a query repeating a
 	// gene can never embed injectively: no matrix can host it.
 	if hasDuplicateGenes(q) {
@@ -170,15 +219,18 @@ func (p *Processor) queryWithGraph(q *grn.Graph, st *Stats) ([]Answer, error) {
 		sources = p.sourcesContainingAll(q.Genes())
 		st.Traversal = time.Since(tStart)
 	} else {
-		pairs := p.traverse(q, st)
+		pairs, err := p.traverse(ec, q, st)
+		if err != nil {
+			return nil, err
+		}
 		st.Traversal = time.Since(tStart)
 		sources = collectSources(pairs, st)
 	}
 
 	rStart := time.Now()
-	answers := p.refine(q, sources, st)
+	answers, err := p.refine(ec, q, sources, st)
 	st.Refinement = time.Since(rStart)
-	return answers, nil
+	return answers, err
 }
 
 // hasDuplicateGenes reports whether two query vertices share a gene label.
@@ -240,9 +292,16 @@ func (p *Processor) sourcesContainingAll(genes []gene.ID) []int {
 	return out
 }
 
+// cancelCheckInterval bounds how many priority-queue pops the traversal
+// performs between context checks.
+const cancelCheckInterval = 64
+
 // traverse implements lines 2–27 of Figure 4: the pairwise priority-queue
 // descent of the index for the highest-degree query gene and its neighbors.
-func (p *Processor) traverse(q *grn.Graph, st *Stats) []candidatePair {
+// Page accesses are charged to the execution context's reader; the descent
+// aborts with ctx.Err() when the context is cancelled.
+func (p *Processor) traverse(ec *exec.Context, q *grn.Graph, st *Stats) ([]candidatePair, error) {
+	io := ec.IO()
 	b := p.idx.Bits()
 	gs := q.MaxDegreeVertex()
 	gsGene := q.Gene(gs)
@@ -293,20 +352,25 @@ func (p *Processor) traverse(q *grn.Graph, st *Stats) []candidatePair {
 
 	// Seed with the root paired against itself; the loop below performs
 	// the lines 9–13 pairwise entry expansion uniformly.
-	p.idx.TouchNode(root)
+	p.idx.TouchNodeTo(io, root)
 	if p.params.DisableSignatures || p.rootAdmissible(root, qVfS, qVfT, qVdS, qVdT) {
 		push(root.Level(), root, root)
 	}
 
 	for pq.Len() > 0 {
+		if st.NodePairsVisited%cancelCheckInterval == 0 {
+			if err := ec.Err(); err != nil {
+				return nil, err
+			}
+		}
 		it := heap.Pop(&pq).(pairItem)
 		st.NodePairsVisited++
 		ea, eb := it.a, it.b
 		if ea.IsLeaf() {
 			// Lines 16–21: pairwise point checks.
-			p.idx.TouchNode(ea)
+			p.idx.TouchNodeTo(io, ea)
 			if eb != ea {
-				p.idx.TouchNode(eb)
+				p.idx.TouchNodeTo(io, eb)
 			}
 			for i := 0; i < ea.NumEntries(); i++ {
 				ia := ea.Item(i)
@@ -338,9 +402,9 @@ func (p *Processor) traverse(q *grn.Graph, st *Stats) []candidatePair {
 			continue
 		}
 		// Lines 22–27: expand child pairs.
-		p.idx.TouchNode(ea)
+		p.idx.TouchNodeTo(io, ea)
 		if eb != ea {
-			p.idx.TouchNode(eb)
+			p.idx.TouchNodeTo(io, eb)
 		}
 		for i := 0; i < ea.NumEntries(); i++ {
 			ca := ea.Child(i)
@@ -378,7 +442,7 @@ func (p *Processor) traverse(q *grn.Graph, st *Stats) []candidatePair {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // rootAdmissible mirrors the line 9–13 admission test on the root itself.
@@ -407,99 +471,135 @@ func collectSources(pairs []candidatePair, st *Stats) []int {
 	return out
 }
 
-// refine implements lines 28–30: Lemma-5 graph existence pruning on each
-// candidate matrix followed by exact verification of Definition 4.
-func (p *Processor) refine(q *grn.Graph, sources []int, st *Stats) []Answer {
-	var answers []Answer
-	qEdges := q.Edges()
-	gamma, alpha := p.params.Gamma, p.params.Alpha
-	for _, src := range sources {
-		m := p.idx.DB().BySource(src)
-		if m == nil {
-			continue
-		}
-		// Map query vertices to columns by gene ID (labels are unique
-		// within a matrix, so the embedding is forced).
-		cols := make([]int, q.NumVertices())
-		ok := true
-		for v := 0; v < q.NumVertices(); v++ {
-			c := m.IndexOf(q.Gene(v))
-			if c < 0 {
-				ok = false
-				break
-			}
-			cols[v] = c
-		}
-		if !ok {
-			continue
-		}
-		// Lemma 5: prune with the product of pivot-based edge upper bounds.
-		if emb := p.idx.Embedding(src); emb != nil && len(qEdges) > 0 {
-			ub := 1.0
-			for _, e := range qEdges {
-				ub *= emb.UpperBound(cols[e.S], cols[e.T], p.params.OneSided)
-				if ub <= alpha {
-					break
-				}
-			}
-			if grn.PruneByGraphExistence(ub, alpha) {
-				st.MatricesPrunedL5++
-				continue
-			}
-		}
-		// Exact verification: infer only the query-mapped edges, reading
-		// the standardized vectors from the paged heap file (charged I/O).
-		prob := 1.0
-		edges := make([]grn.Edge, 0, len(qEdges))
-		matched := true
-		var bufA, bufB []float64
-		for _, e := range qEdges {
-			a, bcol := cols[e.S], cols[e.T]
-			if !m.Informative(a) || !m.Informative(bcol) {
-				matched = false
-				break
-			}
-			var err error
-			if bufA, err = p.idx.FetchStdColumn(src, a, bufA); err != nil {
-				matched = false
-				break
-			}
-			if bufB, err = p.idx.FetchStdColumn(src, bcol, bufB); err != nil {
-				matched = false
-				break
-			}
-			// Lemma 3 edge inference pruning before the exact estimate.
-			if !p.params.Analytic && p.pruner.UpperBound(bufA, bufB) <= gamma {
-				matched = false
-				break
-			}
-			ep, cached := 0.0, false
-			if p.params.Cache != nil {
-				ep, cached = p.params.Cache.Get(src, a, bcol)
-			}
-			if !cached {
-				ep = p.edgeProbVec(bufA, bufB)
-				if p.params.Cache != nil {
-					p.params.Cache.Put(src, a, bcol, ep)
-				}
-			}
-			if ep <= gamma {
-				matched = false
-				break
-			}
-			prob *= ep
-			if prob <= alpha {
-				matched = false
-				break
-			}
-			edges = append(edges, grn.Edge{S: e.S, T: e.T, P: ep})
-		}
-		if !matched {
-			continue
-		}
-		genes := make([]gene.ID, q.NumVertices())
-		copy(genes, q.Genes())
-		answers = append(answers, Answer{Source: src, Prob: prob, Edges: edges, Genes: genes})
+// candOutcome is the per-candidate result of verifyCandidate, aggregated
+// into Stats deterministically (in source order) by both refine paths.
+type candOutcome struct {
+	answer      *Answer
+	prunedL5    bool
+	cacheHits   int
+	cacheMisses int
+}
+
+func (st *Stats) applyCandidate(o candOutcome) {
+	if o.prunedL5 {
+		st.MatricesPrunedL5++
 	}
-	return answers
+	st.CacheHits += o.cacheHits
+	st.CacheMisses += o.cacheMisses
+}
+
+// refine implements lines 28–30: Lemma-5 graph existence pruning on each
+// candidate matrix followed by exact verification of Definition 4. With a
+// worker budget the candidates are verified in parallel (refineParallel);
+// otherwise they are verified sequentially on the processor's single
+// scorer/pruner streams, byte-identical to the pre-parallel implementation.
+func (p *Processor) refine(ec *exec.Context, q *grn.Graph, sources []int, st *Stats) ([]Answer, error) {
+	if ec.Parallel() {
+		return p.refineParallel(ec, q, sources, st)
+	}
+	qEdges := q.Edges()
+	var answers []Answer
+	var bufs colBufs
+	for _, src := range sources {
+		if err := ec.Err(); err != nil {
+			return nil, err
+		}
+		o := p.verifyCandidate(ec.IO(), q, qEdges, src, p.scorer, p.pruner, &bufs)
+		st.applyCandidate(o)
+		if o.answer != nil {
+			answers = append(answers, *o.answer)
+		}
+	}
+	return answers, nil
+}
+
+// colBufs is the reusable column scratch space of one verification stream.
+type colBufs struct {
+	a, b []float64
+}
+
+// verifyCandidate checks one candidate matrix: Lemma-5 graph existence
+// pruning on pivot upper bounds, then exact verification of Definition 4,
+// reading standardized vectors from the paged heap file charged to io and
+// drawing Monte Carlo samples from the given scorer/pruner streams.
+func (p *Processor) verifyCandidate(io pagestore.Toucher, q *grn.Graph, qEdges []grn.Edge, src int,
+	sc *grn.RandomizedScorer, pr *grn.Pruner, bufs *colBufs) candOutcome {
+	var out candOutcome
+	gamma, alpha := p.params.Gamma, p.params.Alpha
+	m := p.idx.DB().BySource(src)
+	if m == nil {
+		return out
+	}
+	// Map query vertices to columns by gene ID (labels are unique within a
+	// matrix, so the embedding is forced).
+	cols := make([]int, q.NumVertices())
+	for v := 0; v < q.NumVertices(); v++ {
+		c := m.IndexOf(q.Gene(v))
+		if c < 0 {
+			return out
+		}
+		cols[v] = c
+	}
+	// Lemma 5: prune with the product of pivot-based edge upper bounds.
+	if emb := p.idx.Embedding(src); emb != nil && len(qEdges) > 0 {
+		ub := 1.0
+		for _, e := range qEdges {
+			ub *= emb.UpperBound(cols[e.S], cols[e.T], p.params.OneSided)
+			if ub <= alpha {
+				break
+			}
+		}
+		if grn.PruneByGraphExistence(ub, alpha) {
+			out.prunedL5 = true
+			return out
+		}
+	}
+	// Exact verification: infer only the query-mapped edges, reading the
+	// standardized vectors from the paged heap file (charged I/O).
+	prob := 1.0
+	edges := make([]grn.Edge, 0, len(qEdges))
+	for _, e := range qEdges {
+		a, bcol := cols[e.S], cols[e.T]
+		if !m.Informative(a) || !m.Informative(bcol) {
+			return out
+		}
+		var err error
+		if bufs.a, err = p.idx.FetchStdColumnTo(io, src, a, bufs.a); err != nil {
+			return out
+		}
+		if bufs.b, err = p.idx.FetchStdColumnTo(io, src, bcol, bufs.b); err != nil {
+			return out
+		}
+		// Lemma 3 edge inference pruning before the exact estimate.
+		if !p.params.Analytic && pr.UpperBound(bufs.a, bufs.b) <= gamma {
+			return out
+		}
+		ep, cached := 0.0, false
+		if p.params.Cache != nil {
+			ep, cached = p.params.Cache.Get(src, a, bcol)
+			if cached {
+				out.cacheHits++
+			} else {
+				out.cacheMisses++
+			}
+		}
+		if !cached {
+			ep = p.edgeProbVecWith(sc, bufs.a, bufs.b)
+			if p.params.Cache != nil {
+				p.params.Cache.Put(src, a, bcol, ep)
+			}
+		}
+		if ep <= gamma {
+			return out
+		}
+		prob *= ep
+		if prob <= alpha {
+			return out
+		}
+		edges = append(edges, grn.Edge{S: e.S, T: e.T, P: ep})
+	}
+	genes := make([]gene.ID, q.NumVertices())
+	copy(genes, q.Genes())
+	out.answer = &Answer{Source: src, Prob: prob, Edges: edges, Genes: genes}
+	return out
 }

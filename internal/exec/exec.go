@@ -1,0 +1,142 @@
+// Package exec bundles the per-query execution state of one IM-GRN query:
+// the caller's context.Context (cancellation and deadlines), a per-query
+// page-I/O reader, and a bounded worker pool for intra-query parallelism.
+//
+// The IM-GRN_Processing algorithm (paper §5.2) is embarrassingly parallel
+// at the candidate-verification stage: each surviving candidate matrix is
+// verified independently by Monte Carlo refinement. An exec.Context makes
+// that parallelism safe and deterministic by giving every query its own
+// I/O accountant view (pagestore.Reader) and by addressing randomness per
+// work unit (randgen.SeedFrom) rather than per goroutine, so results never
+// depend on the goroutine schedule.
+package exec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/imgrn/imgrn/internal/pagestore"
+)
+
+// Context carries the execution state of one query. It is created at the
+// public API boundary (Engine.QueryContext, server handlers) and threaded
+// through traversal and refinement. A Context is bound to a single query
+// and must not be reused.
+type Context struct {
+	ctx     context.Context
+	io      *pagestore.Reader
+	workers int
+}
+
+// New returns an execution context. A nil ctx means context.Background();
+// workers <= 0 means 1 (the exact sequential algorithm). io may be nil for
+// callers that do not account I/O (e.g. pure in-memory competitors).
+func New(ctx context.Context, io *pagestore.Reader, workers int) *Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	return &Context{ctx: ctx, io: io, workers: workers}
+}
+
+// Background returns a no-cancellation, sequential context with the given
+// reader — the execution state legacy entry points run under.
+func Background(io *pagestore.Reader) *Context {
+	return New(context.Background(), io, 1)
+}
+
+// Ctx returns the underlying context.Context.
+func (c *Context) Ctx() context.Context { return c.ctx }
+
+// IO returns the query's I/O reader (may be nil).
+func (c *Context) IO() *pagestore.Reader { return c.io }
+
+// Workers returns the effective worker budget (>= 1).
+func (c *Context) Workers() int { return c.workers }
+
+// Parallel reports whether the query may fan work units out to more than
+// one goroutine.
+func (c *Context) Parallel() bool { return c.workers > 1 }
+
+// Err returns the context's cancellation error, if any. Loop boundaries in
+// traversal and refinement call this to honor cancellation and deadlines.
+func (c *Context) Err() error { return c.ctx.Err() }
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls out across
+// the context's worker budget. Calls must be independent: fn typically
+// writes its result into slot i of a pre-sized slice, and the caller
+// aggregates the slots in index order afterwards so the outcome is
+// deterministic regardless of scheduling.
+//
+// The first error returned by fn stops the fan-out (in-flight calls finish,
+// queued ones are skipped) and is returned. Cancellation of the underlying
+// context is honored between work units and reported as ctx.Err().
+func (c *Context) ForEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return c.Err()
+	}
+	workers := c.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := c.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		errMu   sync.Mutex
+		first   error
+		wg      sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+		stopped.Store(true)
+	}
+	done := c.ctx.Done()
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				select {
+				case <-done:
+					fail(c.ctx.Err())
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	return first
+}

@@ -1,0 +1,123 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const n = 100
+		var seen [n]atomic.Int32
+		ec := New(context.Background(), nil, workers)
+		if err := ec.ForEach(n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 64
+	var cur, peak atomic.Int32
+	ec := New(context.Background(), nil, workers)
+	err := ec.ForEach(n, func(int) error {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent calls, budget %d", p, workers)
+	}
+}
+
+func TestForEachStopsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	ec := New(context.Background(), nil, 4)
+	err := ec.ForEach(1000, func(i int) error {
+		if calls.Add(1) == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if c := calls.Load(); c >= 1000 {
+		t.Fatalf("fan-out did not stop early: %d calls", c)
+	}
+}
+
+func TestForEachHonorsCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		ec := New(ctx, nil, workers)
+		var calls atomic.Int32
+		var once sync.Once
+		err := ec.ForEach(1000, func(i int) error {
+			calls.Add(1)
+			once.Do(cancel)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if c := calls.Load(); c >= 1000 {
+			t.Fatalf("workers=%d: cancellation ignored, %d calls", workers, c)
+		}
+	}
+}
+
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec := New(ctx, nil, 2)
+	if err := ec.ForEach(10, func(int) error {
+		t.Fatal("fn called under a cancelled context")
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// n = 0 still reports the cancellation.
+	if err := ec.ForEach(0, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("n=0 err = %v, want context.Canceled", err)
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	ec := New(nil, nil, 0)
+	if ec.Ctx() == nil {
+		t.Fatal("nil ctx not defaulted")
+	}
+	if ec.Workers() != 1 || ec.Parallel() {
+		t.Fatalf("workers = %d, parallel = %v; want 1, false", ec.Workers(), ec.Parallel())
+	}
+	if err := ec.Err(); err != nil {
+		t.Fatalf("background Err = %v", err)
+	}
+	if bg := Background(nil); bg.Parallel() || bg.IO() != nil {
+		t.Fatal("Background should be sequential with the given reader")
+	}
+}

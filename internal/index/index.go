@@ -293,7 +293,16 @@ func (x *Index) Embedding(source int) *pivot.Embedding { return x.embeddings[sou
 func (x *Index) Inverted() *bitvec.InvertedFile { return x.inverted }
 
 // Accountant returns the I/O accountant shared by index and heap pages.
+// It is the allocation namespace and the construction-time counter; query
+// paths account I/O through per-query Readers (NewReader) instead, so
+// concurrent queries never share a mutable counter.
 func (x *Index) Accountant() *pagestore.Accountant { return x.acc }
+
+// NewReader returns a fresh per-query I/O reader over the index's page
+// namespace. Each reader starts with a cold private buffer pool of the
+// configured capacity, preserving the per-query I/O-cost metric of
+// Section 6.1 under concurrency.
+func (x *Index) NewReader() *pagestore.Reader { return x.acc.NewReader() }
 
 // Stats returns construction statistics.
 func (x *Index) Stats() BuildStats { return x.stats }
@@ -304,20 +313,32 @@ func (x *Index) NodeSignature(n *rstar.Node) (f, d *bitvec.Vector) {
 	return sig.f, sig.d
 }
 
-// TouchNode charges one read of node n.
+// TouchNode charges one read of node n to the shared accountant.
 func (x *Index) TouchNode(n *rstar.Node) { rstar.TouchNode(x.acc, n) }
+
+// TouchNodeTo charges one read of node n to the given toucher (typically a
+// per-query reader).
+func (x *Index) TouchNodeTo(to pagestore.Toucher, n *rstar.Node) { rstar.TouchNode(to, n) }
 
 // FetchStdColumn reads the standardized feature vector of column col of
 // the given source from the simulated heap file — real byte movement that
 // is charged as page I/O — appending the decoded values to dst and
-// returning the result.
+// returning the result. The charge goes to the shared accountant; query
+// paths use FetchStdColumnTo with a per-query reader.
 func (x *Index) FetchStdColumn(source, col int, dst []float64) ([]float64, error) {
+	return x.FetchStdColumnTo(x.acc, source, col, dst)
+}
+
+// FetchStdColumnTo is FetchStdColumn with the page charges billed to an
+// explicit toucher. Concurrent calls with distinct touchers are safe while
+// the index is not being mutated.
+func (x *Index) FetchStdColumnTo(to pagestore.Toucher, source, col int, dst []float64) ([]float64, error) {
 	h, ok := x.heap[source]
 	if !ok {
 		return nil, fmt.Errorf("index: source %d not in heap", source)
 	}
 	raw := make([]byte, h.colBytes)
-	if err := x.store.ReadAt(h.first, col*h.colBytes, h.colBytes, raw); err != nil {
+	if err := x.store.ReadAtTo(to, h.first, col*h.colBytes, h.colBytes, raw); err != nil {
 		return nil, fmt.Errorf("index: fetching column %d of source %d: %w", col, source, err)
 	}
 	l := h.colBytes / 8

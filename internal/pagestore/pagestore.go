@@ -93,6 +93,95 @@ func (a *Accountant) ChargeBytes(id PageID, n int) {
 // Stats returns a snapshot of the counters.
 func (a *Accountant) Stats() Stats { return a.stats }
 
+// Toucher counts page accesses. Both *Accountant and *Reader implement it,
+// so charged read paths (Store.ReadAtTo, rstar.TouchNode) can bill either
+// the global accountant or a per-query reader.
+type Toucher interface {
+	Touch(id PageID)
+	TouchRange(id PageID, pages int)
+	PageSize() int
+}
+
+// NewReader returns a per-query view of the accountant: a Reader with
+// private access/hit counters and a private buffer pool of the same
+// capacity as the accountant's. Concurrent queries each hold their own
+// Reader, so they account I/O independently instead of sharing one mutable
+// counter. A fresh Reader starts with a cold buffer, which preserves the
+// paper's per-query I/O-cost metric (Section 6.1): it reports exactly what
+// Touch-after-ResetStats reported when queries were serialized.
+func (a *Accountant) NewReader() *Reader {
+	r := &Reader{pageSize: a.pageSize}
+	if a.lru != nil {
+		r.bufferPages = a.lru.capacity
+		r.lru = newLRU(a.lru.capacity)
+	}
+	return r
+}
+
+// Reader is one query's I/O accounting view. It is intentionally cheap and
+// unsynchronized: a Reader must not be shared across goroutines. Parallel
+// workers within one query derive a SubReader each and merge the counters
+// back with AddStats once the fan-out has been gathered.
+type Reader struct {
+	pageSize    int
+	bufferPages int
+	stats       Stats
+	lru         *lruCache // nil means unbuffered
+}
+
+// PageSize returns the page size inherited from the accountant.
+func (r *Reader) PageSize() int { return r.pageSize }
+
+// Touch records one access of page id against this reader.
+func (r *Reader) Touch(id PageID) {
+	if r.lru != nil && r.lru.touch(id) {
+		r.stats.Hits++
+		return
+	}
+	r.stats.Accesses++
+}
+
+// TouchRange records an access of each page in [id, id+pages).
+func (r *Reader) TouchRange(id PageID, pages int) {
+	for k := 0; k < pages; k++ {
+		r.Touch(id + PageID(k))
+	}
+}
+
+// ChargeBytes charges the accesses required to read n bytes starting at
+// the beginning of the object rooted at id.
+func (r *Reader) ChargeBytes(id PageID, n int) {
+	pages := (n + r.pageSize - 1) / r.pageSize
+	if pages < 1 {
+		pages = 1
+	}
+	r.TouchRange(id, pages)
+}
+
+// Stats returns a snapshot of the reader's counters.
+func (r *Reader) Stats() Stats { return r.stats }
+
+// SubReader derives a reader with the same page size and buffer capacity
+// but fresh (zero) counters and a cold private buffer, for use by one
+// parallel worker unit. Each unit's counters are a pure function of the
+// work unit itself, so merged totals are independent of the goroutine
+// schedule.
+func (r *Reader) SubReader() *Reader {
+	s := &Reader{pageSize: r.pageSize, bufferPages: r.bufferPages}
+	if r.bufferPages > 0 {
+		s.lru = newLRU(r.bufferPages)
+	}
+	return s
+}
+
+// AddStats merges the counters of a finished SubReader (or any Stats
+// snapshot) into this reader.
+func (r *Reader) AddStats(s Stats) {
+	r.stats.Accesses += s.Accesses
+	r.stats.Hits += s.Hits
+	r.stats.Allocated += s.Allocated
+}
+
 // ResetStats zeroes the access/hit counters (allocation count is kept) and
 // drops the buffer contents, so per-query I/O can be measured from a cold
 // buffer as the paper does.

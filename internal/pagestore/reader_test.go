@@ -1,0 +1,120 @@
+package pagestore
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestReaderCountsIndependently(t *testing.T) {
+	acc := New(128, 4)
+	id, _ := acc.Allocate(10 * 128)
+
+	r1 := acc.NewReader()
+	r2 := acc.NewReader()
+	r1.Touch(id)
+	r1.Touch(id + 1)
+	r2.Touch(id)
+
+	if got := r1.Stats().Accesses; got != 2 {
+		t.Fatalf("r1 accesses = %d, want 2", got)
+	}
+	if got := r2.Stats().Accesses; got != 1 {
+		t.Fatalf("r2 accesses = %d, want 1", got)
+	}
+	if got := acc.Stats().Accesses; got != 0 {
+		t.Fatalf("reader touches leaked into the accountant: %d", got)
+	}
+}
+
+// TestReaderMatchesResetAccountant is the metric-preservation property:
+// a fresh Reader reports exactly what the shared accountant reported after
+// ResetStats in the serialized design, for an arbitrary touch trace.
+func TestReaderMatchesResetAccountant(t *testing.T) {
+	trace := []PageID{1, 2, 3, 1, 1, 4, 5, 6, 2, 7, 3, 3, 8, 1}
+	for _, bufferPages := range []int{0, 2, 4} {
+		acc := New(256, bufferPages)
+		acc.Allocate(8 * 256)
+		// Warm the accountant's buffer with unrelated touches, then reset —
+		// the serialized per-query protocol.
+		acc.Touch(7)
+		acc.Touch(8)
+		acc.ResetStats()
+		for _, id := range trace {
+			acc.Touch(id)
+		}
+
+		r := New(256, bufferPages).NewReader()
+		for _, id := range trace {
+			r.Touch(id)
+		}
+		if acc.Stats().Accesses != r.Stats().Accesses || acc.Stats().Hits != r.Stats().Hits {
+			t.Fatalf("bufferPages=%d: reader %v != reset accountant %v",
+				bufferPages, r.Stats(), acc.Stats())
+		}
+	}
+}
+
+func TestReaderChargeBytes(t *testing.T) {
+	r := New(100, 0).NewReader()
+	r.ChargeBytes(1, 250) // 3 pages
+	r.ChargeBytes(10, 0)  // minimum 1 page
+	if got := r.Stats().Accesses; got != 4 {
+		t.Fatalf("accesses = %d, want 4", got)
+	}
+	if r.PageSize() != 100 {
+		t.Fatalf("page size = %d, want 100", r.PageSize())
+	}
+}
+
+func TestSubReaderMergesBack(t *testing.T) {
+	root := New(128, 4).NewReader()
+	root.Touch(1)
+
+	var wg sync.WaitGroup
+	subs := make([]*Reader, 8)
+	for i := range subs {
+		subs[i] = root.SubReader()
+		wg.Add(1)
+		go func(r *Reader, base PageID) {
+			defer wg.Done()
+			// Second touch of the same page is a buffer hit.
+			r.Touch(base)
+			r.Touch(base)
+		}(subs[i], PageID(100+i))
+	}
+	wg.Wait()
+	for _, s := range subs {
+		root.AddStats(s.Stats())
+	}
+	st := root.Stats()
+	if st.Accesses != 1+8 {
+		t.Fatalf("accesses = %d, want 9", st.Accesses)
+	}
+	if st.Hits != 8 {
+		t.Fatalf("hits = %d, want 8", st.Hits)
+	}
+}
+
+func TestSubReaderBufferIsCold(t *testing.T) {
+	root := New(128, 4).NewReader()
+	root.Touch(42) // now hot in root's buffer
+	sub := root.SubReader()
+	sub.Touch(42)
+	if got := sub.Stats().Accesses; got != 1 {
+		t.Fatalf("sub reader inherited a warm buffer: accesses = %d, want 1", got)
+	}
+	if got := sub.Stats().Hits; got != 0 {
+		t.Fatalf("sub reader hits = %d, want 0", got)
+	}
+}
+
+func TestUnbufferedReaderNeverHits(t *testing.T) {
+	r := New(64, 0).NewReader()
+	for i := 0; i < 5; i++ {
+		r.Touch(3)
+	}
+	st := r.Stats()
+	if st.Accesses != 5 || st.Hits != 0 {
+		t.Fatalf("stats = %v, want 5 accesses, 0 hits", st)
+	}
+}

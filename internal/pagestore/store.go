@@ -45,8 +45,18 @@ func (s *Store) RunLength(id PageID) int {
 }
 
 // ReadAt copies length bytes starting at byte offset off within the run
-// based at id into dst, charging one access per touched page.
+// based at id into dst, charging one access per touched page against the
+// store's own accountant. Query paths that need per-query accounting use
+// ReadAtTo with a Reader instead.
 func (s *Store) ReadAt(id PageID, off, length int, dst []byte) error {
+	return s.ReadAtTo(s.acc, id, off, length, dst)
+}
+
+// ReadAtTo is ReadAt with the page charges billed to an explicit Toucher
+// (typically a per-query Reader). The run contents themselves are
+// immutable once appended, so concurrent ReadAtTo calls with distinct
+// Touchers are safe as long as no Append runs concurrently.
+func (s *Store) ReadAtTo(to Toucher, id PageID, off, length int, dst []byte) error {
 	run, ok := s.runs[id]
 	if !ok {
 		return fmt.Errorf("pagestore: no run at page %d", id)
@@ -57,14 +67,14 @@ func (s *Store) ReadAt(id PageID, off, length int, dst []byte) error {
 	if len(dst) < length {
 		return fmt.Errorf("pagestore: destination smaller than read length")
 	}
-	ps := s.acc.PageSize()
+	ps := to.PageSize()
 	firstPage := off / ps
 	lastPage := firstPage
 	if length > 0 {
 		lastPage = (off + length - 1) / ps
 	}
 	for p := firstPage; p <= lastPage; p++ {
-		s.acc.Touch(id + PageID(p))
+		to.Touch(id + PageID(p))
 	}
 	copy(dst[:length], run[off:off+length])
 	return nil

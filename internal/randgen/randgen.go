@@ -47,6 +47,24 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// SeedFrom deterministically derives a child seed from base and a sequence
+// of work-unit coordinates (a data source ID, a column pair, ...). Unlike
+// Split it is stateless: the same coordinates always yield the same seed,
+// so parallel query workers can seed their generators per work unit rather
+// than per goroutine, making results independent of the goroutine
+// schedule. Each coordinate is folded in with a SplitMix64 finalization
+// round, so nearby coordinates produce well-separated seeds.
+func SeedFrom(base uint64, coords ...uint64) uint64 {
+	z := base
+	for _, c := range coords {
+		z += 0x9e3779b97f4a7c15 + c
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -98,13 +98,14 @@ func (t *Tree) AssignPages(acc *pagestore.Accountant) int {
 	return total
 }
 
-// TouchNode charges a read of node n to the accountant (a no-op when pages
-// were never assigned or acc is nil).
-func TouchNode(acc *pagestore.Accountant, n *Node) {
-	if acc == nil || n.pages == 0 {
+// TouchNode charges a read of node n to the given toucher — the global
+// accountant or a per-query reader (a no-op when pages were never assigned
+// or to is nil).
+func TouchNode(to pagestore.Toucher, n *Node) {
+	if to == nil || n.pages == 0 {
 		return
 	}
-	acc.TouchRange(n.page, n.pages)
+	to.TouchRange(n.page, n.pages)
 }
 
 // CheckInvariants validates structural invariants for tests: MBR

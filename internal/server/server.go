@@ -4,19 +4,29 @@
 // GRN plus ad-hoc thresholds, and receive the matching data sources with
 // confidences and cost statistics.
 //
+// Requests are served concurrently: every query builds its own processor
+// with a per-query execution context (private page-access accounting, see
+// internal/exec), so no handler serializes behind another. QueryTimeout
+// bounds each query's wall-clock time through context cancellation, and
+// MaxConcurrent sheds load with 503 when too many queries are in flight.
+//
 // Endpoints:
 //
 //	GET  /healthz      liveness probe
 //	GET  /stats        database and index statistics
 //	POST /query        IM-GRN query from a feature matrix
 //	POST /query-graph  IM-GRN query from an explicit probabilistic pattern
+//	POST /cluster      cluster the data sources by regulatory structure
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"github.com/imgrn/imgrn/internal/cluster"
 	"github.com/imgrn/imgrn/internal/core"
@@ -26,21 +36,72 @@ import (
 	"github.com/imgrn/imgrn/internal/randgen"
 )
 
-// Server handles IM-GRN HTTP requests over one index.
+// Server handles IM-GRN HTTP requests over one index. Handlers are safe
+// for concurrent use; queries do not serialize against each other because
+// each runs on its own execution context.
 type Server struct {
-	mu  sync.Mutex // queries share the index's I/O accountant
 	idx *index.Index
 	cat *gene.Catalog
 	mux *http.ServeMux
 
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+
+	// QueryTimeout bounds the wall-clock time of one query or clustering
+	// request (default 30s; <= 0 disables the bound). A request past its
+	// deadline is abandoned at the next traversal/refinement loop boundary
+	// and answered with 503.
+	QueryTimeout time.Duration
+
+	// MaxConcurrent bounds the number of in-flight query/cluster requests
+	// (default 0 = unbounded). Excess requests are rejected immediately
+	// with 503 rather than queued.
+	MaxConcurrent int
+
+	// Workers is the intra-query parallelism passed to every query's
+	// params (see core.Params.Workers). 0 preserves the exact sequential
+	// per-query algorithm.
+	Workers int
+
+	semOnce sync.Once
+	sem     chan struct{}
+
+	// cacheMu guards caches; the caches themselves are lock-striped and
+	// shared by concurrent requests with identical estimator settings.
+	cacheMu sync.Mutex
+	caches  map[estimatorSig]*core.EdgeProbCache
+}
+
+// estimatorSig identifies one estimator configuration; memoized edge
+// probabilities must not be shared across configurations.
+type estimatorSig struct {
+	samples  int
+	seed     uint64
+	analytic bool
+	oneSided bool
+}
+
+// cacheFor returns (creating if needed) the edge-probability cache for the
+// estimator settings of p.
+func (s *Server) cacheFor(p ParamsJSON) *core.EdgeProbCache {
+	sig := estimatorSig{samples: p.Samples, seed: p.Seed, analytic: p.Analytic, oneSided: p.OneSided}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.caches == nil {
+		s.caches = make(map[estimatorSig]*core.EdgeProbCache)
+	}
+	c, ok := s.caches[sig]
+	if !ok {
+		c = core.NewEdgeProbCache(0)
+		s.caches[sig] = c
+	}
+	return c
 }
 
 // New returns a server over idx. cat translates gene names in requests;
 // a nil catalog restricts requests to numeric gene IDs.
 func New(idx *index.Index, cat *gene.Catalog) *Server {
-	s := &Server{idx: idx, cat: cat, MaxBodyBytes: 32 << 20}
+	s := &Server{idx: idx, cat: cat, MaxBodyBytes: 32 << 20, QueryTimeout: 30 * time.Second}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -54,6 +115,51 @@ func New(idx *index.Index, cat *gene.Catalog) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// acquire claims an execution slot, reporting false (and answering 503)
+// when the server is at MaxConcurrent in-flight requests. The returned
+// release func must be called when the request finishes.
+func (s *Server) acquire(w http.ResponseWriter) (release func(), ok bool) {
+	s.semOnce.Do(func() {
+		if s.MaxConcurrent > 0 {
+			s.sem = make(chan struct{}, s.MaxConcurrent)
+		}
+	})
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+		writeError(w, http.StatusServiceUnavailable, "server at capacity")
+		return nil, false
+	}
+}
+
+// queryContext derives the per-request context: the client's (cancelled
+// when the connection drops) bounded by QueryTimeout.
+func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.QueryTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// writeQueryError maps a query error to an HTTP status: deadline and
+// cancellation become 503 (the query was shed, not wrong), everything
+// else 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, "query timed out")
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		writeError(w, http.StatusServiceUnavailable, "query cancelled")
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -117,6 +223,9 @@ type ParamsJSON struct {
 	Analytic bool    `json:"analytic,omitempty"`
 	OneSided bool    `json:"oneSided,omitempty"`
 	TopK     int     `json:"topK,omitempty"`
+	// Workers overrides the server's intra-query parallelism for this
+	// request (0 = use the server default).
+	Workers int `json:"workers,omitempty"`
 }
 
 // EdgeJSON is one probabilistic edge of a pattern or answer.
@@ -140,12 +249,16 @@ type QueryResponse struct {
 	Stats   QueryStats   `json:"stats"`
 }
 
-// QueryStats carries the Section-6 cost metrics.
+// QueryStats carries the Section-6 cost metrics. IOCost is the page-access
+// count of this request alone: accounting is per query, so concurrent
+// requests never pollute each other's counters.
 type QueryStats struct {
 	QueryVertices  int     `json:"queryVertices"`
 	QueryEdges     int     `json:"queryEdges"`
 	CandidateGenes int     `json:"candidateGenes"`
 	IOCost         uint64  `json:"ioPages"`
+	CacheHits      int     `json:"cacheHits"`
+	CacheMisses    int     `json:"cacheMisses"`
 	TotalSeconds   float64 `json:"totalSeconds"`
 }
 
@@ -174,11 +287,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	answers, st, err := proc.Query(mq)
-	s.mu.Unlock()
+	release, ok := s.acquire(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	answers, st, err := proc.QueryContext(ctx, mq)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.response(answers, st, req.Params.TopK))
@@ -207,11 +325,16 @@ func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	answers, st, err := proc.QueryGraph(q)
-	s.mu.Unlock()
+	release, ok := s.acquire(w)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := s.queryContext(r)
+	defer cancel()
+	answers, st, err := proc.QueryGraphContext(ctx, q)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeQueryError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.response(answers, st, req.Params.TopK))
@@ -256,9 +379,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if restarts <= 0 {
 		restarts = 4
 	}
-	s.mu.Lock()
+	release, ok := s.acquire(w)
+	if !ok {
+		return
+	}
+	defer release()
 	dm, err := cluster.DistanceMatrix(db, cluster.Options{Gamma: req.Gamma})
-	s.mu.Unlock()
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -294,9 +420,14 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 }
 
 func (s *Server) processor(p ParamsJSON) (*core.Processor, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = s.Workers
+	}
 	return core.NewProcessor(s.idx, core.Params{
 		Gamma: p.Gamma, Alpha: p.Alpha, Samples: p.Samples,
 		Seed: p.Seed, Analytic: p.Analytic, OneSided: p.OneSided,
+		Workers: workers, Cache: s.cacheFor(p),
 	})
 }
 
@@ -340,6 +471,8 @@ func (s *Server) response(answers []core.Answer, st core.Stats, topK int) QueryR
 			QueryEdges:     st.QueryEdges,
 			CandidateGenes: st.CandidateGenes,
 			IOCost:         st.IOCost,
+			CacheHits:      st.CacheHits,
+			CacheMisses:    st.CacheMisses,
 			TotalSeconds:   st.Total.Seconds(),
 		},
 	}
