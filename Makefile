@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-figures experiments experiments-full fmt vet clean
+.PHONY: all build test race cover bench bench-figures experiments experiments-full fmt fmt-check vet metrics-smoke clean
 
 all: build test
 
@@ -37,8 +37,18 @@ experiments-full:
 fmt:
 	gofmt -w .
 
+# Fails when any file is not gofmt-clean (CI gate).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 vet:
 	$(GO) vet ./...
+
+# End-to-end observability smoke test: real server, /healthz, /metrics
+# family assertions, slow-query log (see scripts/metrics_smoke.sh).
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 clean:
 	rm -f cover.out

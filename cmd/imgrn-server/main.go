@@ -13,6 +13,12 @@
 // intra-query parallelism. SIGINT/SIGTERM drain in-flight requests before
 // exit (bounded by -shutdown-timeout).
 //
+// Observability: /metrics serves the Prometheus metric catalog and
+// /healthz the liveness probe; -pprof exposes net/http/pprof under
+// /debug/pprof/, and -slow-query logs any query slower than the given
+// threshold with its per-stage trace breakdown. See the README
+// "Observability quick-start" and the DESIGN.md metric catalog.
+//
 // Example query:
 //
 //	curl -s localhost:8080/query-graph -d '{
@@ -49,6 +55,8 @@ func main() {
 		maxConcurrent = flag.Int("max-concurrent", 0, "max in-flight query requests before shedding with 503 (0 = unbounded)")
 		workers       = flag.Int("workers", 0, "default intra-query parallelism (0 = sequential)")
 		drainTimeout  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		slowQuery     = flag.Duration("slow-query", 0, "log queries slower than this with their stage breakdown (0 disables)")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -90,6 +98,11 @@ func main() {
 	h.QueryTimeout = *queryTimeout
 	h.MaxConcurrent = *maxConcurrent
 	h.Workers = *workers
+	h.EnablePprof = *pprofOn
+	h.SlowQueryThreshold = *slowQuery
+	if *pprofOn {
+		fmt.Println("pprof: enabled at /debug/pprof/")
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -12,6 +12,7 @@ import (
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/grn"
 	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/obs"
 	"github.com/imgrn/imgrn/internal/randgen"
 	"github.com/imgrn/imgrn/internal/subiso"
 	"github.com/imgrn/imgrn/internal/vecmath"
@@ -36,16 +37,40 @@ type (
 	Scorer = grn.Scorer
 	// IndexOptions configures index construction.
 	IndexOptions = index.Options
-	// QueryParams carries the per-query thresholds (γ, α) and estimator
-	// settings.
+	// QueryParams carries the per-query thresholds (γ, α of Definition 4),
+	// the estimator settings (Samples, Seed, Analytic, OneSided), the
+	// intra-query worker budget (Workers) and the optional per-query
+	// trace collector (Trace, see NewQueryTrace).
 	QueryParams = core.Params
-	// Answer is one IM-GRN query result.
+	// Answer is one IM-GRN query result: a matching data source with its
+	// appearance probability and the matched probabilistic edges.
 	Answer = core.Answer
-	// QueryStats reports per-query cost metrics.
+	// QueryStats reports the per-query cost metrics of the paper's
+	// Section 6 plus the engine's own accounting: wall-clock stage
+	// durations (InferQuery, Traversal, Refinement, Total) and the
+	// aggregate refinement sub-stage durations (MarkovPrune, MonteCarlo),
+	// simulated page I/O (IOCost accesses, IOHits buffer absorptions),
+	// pruning-power counters (NodePairsVisited/Pruned,
+	// PointPairsChecked/Pruned, CandidateGenes, CandidateMatrices,
+	// MatricesPrunedL5), edge-probability cache effectiveness
+	// (CacheHits, CacheMisses), and the query graph shape
+	// (QueryVertices, QueryEdges).
 	QueryStats = core.Stats
+	// QueryTrace collects per-stage spans (durations plus candidate
+	// in/out counts) of one query; attach one via QueryParams.Trace and
+	// read the spans back with Spans or Summary after the query returns.
+	// A QueryTrace must not be reused across queries.
+	QueryTrace = obs.Tracer
+	// TraceSpan is one recorded pipeline stage of a traced query.
+	TraceSpan = obs.Span
 	// SubgraphMatch is one embedding found by MatchSubgraph.
 	SubgraphMatch = subiso.Match
 )
+
+// NewQueryTrace starts a per-query trace collector. Tracing observes the
+// pipeline without perturbing it: answers and RNG streams are identical
+// with tracing on or off.
+func NewQueryTrace() *QueryTrace { return obs.NewTracer() }
 
 // WildcardGene is a query vertex label that matches any gene in
 // MatchSubgraph.
@@ -259,6 +284,8 @@ func (e *Engine) QueryTopKContext(ctx context.Context, mq *Matrix, params QueryP
 	if err != nil {
 		return nil, stats, err
 	}
+	mark := params.Trace.Start(obs.StageTopK)
+	in := len(answers)
 	sort.SliceStable(answers, func(i, j int) bool {
 		if answers[i].Prob != answers[j].Prob {
 			return answers[i].Prob > answers[j].Prob
@@ -268,6 +295,7 @@ func (e *Engine) QueryTopKContext(ctx context.Context, mq *Matrix, params QueryP
 	if k > 0 && len(answers) > k {
 		answers = answers[:k]
 	}
+	mark.End(in, len(answers))
 	return answers, stats, nil
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/obs"
 )
 
 // Params are the per-query IM-GRN parameters of Definition 4 plus
@@ -55,6 +56,11 @@ type Params struct {
 	// estimator settings (Samples, Seed, Analytic, OneSided); the public
 	// Engine manages this keying automatically.
 	Cache *EdgeProbCache
+
+	// Trace optionally collects per-stage spans (durations plus candidate
+	// in/out counts) for this query. Nil disables tracing at zero cost;
+	// tracing never changes answers or the RNG streams, only observes.
+	Trace *obs.Tracer
 
 	// Ablation switches (used by the benchmark harness to isolate the
 	// contribution of each pruning layer; leave false in production).
@@ -102,14 +108,24 @@ type Answer struct {
 
 // Stats reports the cost metrics of Section 6 for one query.
 type Stats struct {
-	// Durations of the processing phases.
-	InferQuery time.Duration
-	Traversal  time.Duration
-	Refinement time.Duration
-	Total      time.Duration
+	// Durations of the processing phases. InferQuery, Traversal,
+	// Refinement and Total are wall-clock; MarkovPrune and MonteCarlo
+	// break Refinement down into its Lemma-5 upper-bound pruning and
+	// exact-verification parts, summed across candidates (so with
+	// Workers > 1 they are aggregate CPU time, not wall clock, and may
+	// exceed Refinement).
+	InferQuery  time.Duration
+	Traversal   time.Duration
+	Refinement  time.Duration
+	MarkovPrune time.Duration
+	MonteCarlo  time.Duration
+	Total       time.Duration
 
-	// IOCost is the number of simulated page accesses.
+	// IOCost is the number of simulated page accesses ("disk" reads);
+	// IOHits counts the page touches absorbed by the query's private
+	// buffer pool instead.
 	IOCost uint64
+	IOHits uint64
 
 	// Pruning effectiveness counters.
 	NodePairsVisited  int

@@ -13,6 +13,7 @@ import (
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/grn"
 	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/obs"
 	"github.com/imgrn/imgrn/internal/pagestore"
 	"github.com/imgrn/imgrn/internal/rstar"
 	"github.com/imgrn/imgrn/internal/vecmath"
@@ -64,10 +65,10 @@ const (
 func (p *Processor) Params() Params { return p.params }
 
 // newExec builds the per-query execution context: the caller's ctx, a
-// fresh per-query I/O reader (cold buffer, private counters), and the
-// configured worker budget.
+// fresh per-query I/O reader (cold buffer, private counters), the
+// configured worker budget, and the optional trace collector.
 func (p *Processor) newExec(ctx context.Context) *exec.Context {
-	return exec.New(ctx, p.idx.NewReader(), p.params.Workers)
+	return exec.New(ctx, p.idx.NewReader(), p.params.Workers).WithTracer(p.params.Trace)
 }
 
 // edgeProbVecWith computes the exact edge existence probability of two
@@ -170,15 +171,24 @@ func (p *Processor) QueryContext(ctx context.Context, mq *gene.Matrix) ([]Answer
 	st.InferQuery = time.Since(start)
 	st.QueryVertices = q.NumVertices()
 	st.QueryEdges = q.NumEdges()
+	ec.Tracer().Record(obs.StageInfer, start, st.InferQuery, mq.NumGenes(), q.NumEdges())
 
 	answers, err := p.queryWithGraph(ec, q, &st)
 	if err != nil {
 		return nil, st, err
 	}
-	st.IOCost = ec.IO().Stats().Accesses
+	p.finishStats(ec, &st, len(answers))
 	st.Total = time.Since(start)
-	st.Answers = len(answers)
 	return answers, st, nil
+}
+
+// finishStats fills the end-of-query counters shared by the entry points:
+// per-query I/O accounting and the answer count.
+func (p *Processor) finishStats(ec *exec.Context, st *Stats, answers int) {
+	io := ec.IO().Stats()
+	st.IOCost = io.Accesses
+	st.IOHits = io.Hits
+	st.Answers = answers
 }
 
 // QueryGraph answers an IM-GRN query for an already-inferred query GRN,
@@ -198,9 +208,8 @@ func (p *Processor) QueryGraphContext(ctx context.Context, q *grn.Graph) ([]Answ
 	if err != nil {
 		return nil, st, err
 	}
-	st.IOCost = ec.IO().Stats().Accesses
+	p.finishStats(ec, &st, len(answers))
 	st.Total = time.Since(start)
-	st.Answers = len(answers)
 	return answers, st, nil
 }
 
@@ -210,6 +219,7 @@ func (p *Processor) queryWithGraph(ec *exec.Context, q *grn.Graph, st *Stats) ([
 	if hasDuplicateGenes(q) {
 		return nil, nil
 	}
+	tr := ec.Tracer()
 	tStart := time.Now()
 	var sources []int
 	if q.NumEdges() == 0 {
@@ -218,18 +228,31 @@ func (p *Processor) queryWithGraph(ec *exec.Context, q *grn.Graph, st *Stats) ([
 		// product); resolve via the inverted file plus exact checks.
 		sources = p.sourcesContainingAll(q.Genes())
 		st.Traversal = time.Since(tStart)
+		tr.Record(obs.StageTraverse, tStart, st.Traversal, 0, len(sources))
 	} else {
 		pairs, err := p.traverse(ec, q, st)
 		if err != nil {
 			return nil, err
 		}
 		st.Traversal = time.Since(tStart)
+		tr.Record(obs.StageTraverse, tStart, st.Traversal, st.NodePairsVisited, len(pairs))
+		fStart := time.Now()
 		sources = collectSources(pairs, st)
+		tr.Record(obs.StageFilter, fStart, time.Since(fStart), len(pairs), st.CandidateMatrices)
 	}
 
 	rStart := time.Now()
 	answers, err := p.refine(ec, q, sources, st)
 	st.Refinement = time.Since(rStart)
+	if err == nil {
+		// The two refinement sub-stages carry aggregate per-candidate
+		// durations (see Stats); their candidate flow is matrices in →
+		// Lemma-5 survivors → answers. The degenerate zero-edge path
+		// leaves CandidateMatrices at 0, so count the sources directly.
+		survivors := len(sources) - st.MatricesPrunedL5
+		tr.Record(obs.StageMarkov, rStart, st.MarkovPrune, len(sources), survivors)
+		tr.Record(obs.StageMonteCarlo, rStart, st.MonteCarlo, survivors, len(answers))
+	}
 	return answers, err
 }
 
@@ -478,6 +501,12 @@ type candOutcome struct {
 	prunedL5    bool
 	cacheHits   int
 	cacheMisses int
+
+	// Stage timings of this candidate: the Lemma-5 upper-bound test and
+	// the exact Monte Carlo verification. Aggregated into
+	// Stats.MarkovPrune / Stats.MonteCarlo.
+	markovDur time.Duration
+	verifyDur time.Duration
 }
 
 func (st *Stats) applyCandidate(o candOutcome) {
@@ -486,6 +515,8 @@ func (st *Stats) applyCandidate(o candOutcome) {
 	}
 	st.CacheHits += o.cacheHits
 	st.CacheMisses += o.cacheMisses
+	st.MarkovPrune += o.markovDur
+	st.MonteCarlo += o.verifyDur
 }
 
 // refine implements lines 28–30: Lemma-5 graph existence pruning on each
@@ -541,6 +572,7 @@ func (p *Processor) verifyCandidate(io pagestore.Toucher, q *grn.Graph, qEdges [
 		cols[v] = c
 	}
 	// Lemma 5: prune with the product of pivot-based edge upper bounds.
+	mStart := time.Now()
 	if emb := p.idx.Embedding(src); emb != nil && len(qEdges) > 0 {
 		ub := 1.0
 		for _, e := range qEdges {
@@ -551,28 +583,41 @@ func (p *Processor) verifyCandidate(io pagestore.Toucher, q *grn.Graph, qEdges [
 		}
 		if grn.PruneByGraphExistence(ub, alpha) {
 			out.prunedL5 = true
+			out.markovDur = time.Since(mStart)
 			return out
 		}
 	}
-	// Exact verification: infer only the query-mapped edges, reading the
-	// standardized vectors from the paged heap file (charged I/O).
+	out.markovDur = time.Since(mStart)
+	vStart := time.Now()
+	out.answer = p.verifyExact(io, q, qEdges, src, m, cols, gamma, alpha, sc, pr, bufs, &out)
+	out.verifyDur = time.Since(vStart)
+	return out
+}
+
+// verifyExact is the exact-verification tail of verifyCandidate: it infers
+// only the query-mapped edges, reading the standardized vectors from the
+// paged heap file (charged I/O), and returns the answer (nil when the
+// candidate fails). Cache hit/miss counts go into out.
+func (p *Processor) verifyExact(io pagestore.Toucher, q *grn.Graph, qEdges []grn.Edge, src int,
+	m *gene.Matrix, cols []int, gamma, alpha float64,
+	sc *grn.RandomizedScorer, pr *grn.Pruner, bufs *colBufs, out *candOutcome) *Answer {
 	prob := 1.0
 	edges := make([]grn.Edge, 0, len(qEdges))
 	for _, e := range qEdges {
 		a, bcol := cols[e.S], cols[e.T]
 		if !m.Informative(a) || !m.Informative(bcol) {
-			return out
+			return nil
 		}
 		var err error
 		if bufs.a, err = p.idx.FetchStdColumnTo(io, src, a, bufs.a); err != nil {
-			return out
+			return nil
 		}
 		if bufs.b, err = p.idx.FetchStdColumnTo(io, src, bcol, bufs.b); err != nil {
-			return out
+			return nil
 		}
 		// Lemma 3 edge inference pruning before the exact estimate.
 		if !p.params.Analytic && pr.UpperBound(bufs.a, bufs.b) <= gamma {
-			return out
+			return nil
 		}
 		ep, cached := 0.0, false
 		if p.params.Cache != nil {
@@ -590,16 +635,15 @@ func (p *Processor) verifyCandidate(io pagestore.Toucher, q *grn.Graph, qEdges [
 			}
 		}
 		if ep <= gamma {
-			return out
+			return nil
 		}
 		prob *= ep
 		if prob <= alpha {
-			return out
+			return nil
 		}
 		edges = append(edges, grn.Edge{S: e.S, T: e.T, P: ep})
 	}
 	genes := make([]gene.ID, q.NumVertices())
 	copy(genes, q.Genes())
-	out.answer = &Answer{Source: src, Prob: prob, Edges: edges, Genes: genes}
-	return out
+	return &Answer{Source: src, Prob: prob, Edges: edges, Genes: genes}
 }

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/obs"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// TestQueryRecordsTraceSpans runs one traced query end to end and checks
+// the pipeline stages show up as spans with consistent in/out counts.
+func TestQueryRecordsTraceSpans(t *testing.T) {
+	ds, idx := buildFixture(t, 70)
+	mq, _, err := ds.ExtractQuery(randgen.New(71), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer()
+	proc, err := NewProcessor(idx, Params{Gamma: 0.5, Alpha: 0.3, Seed: 71, Analytic: true, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	answers, st, err := proc.Query(mq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Spans()
+	byStage := make(map[obs.Stage]obs.Span, len(spans))
+	for _, sp := range spans {
+		if sp.Dur < 0 || sp.Begin < 0 {
+			t.Errorf("span %v has negative timing: %+v", sp.Stage, sp)
+		}
+		byStage[sp.Stage] = sp
+	}
+	for _, want := range []obs.Stage{obs.StageInfer, obs.StageTraverse, obs.StageFilter,
+		obs.StageMarkov, obs.StageMonteCarlo} {
+		if _, ok := byStage[want]; !ok {
+			t.Fatalf("traced query missing %v span (got %v)", want, spans)
+		}
+	}
+	if sp := byStage[obs.StageInfer]; sp.Out != st.QueryEdges {
+		t.Errorf("infer out = %d, QueryEdges = %d", sp.Out, st.QueryEdges)
+	}
+	if sp := byStage[obs.StageFilter]; sp.Out != st.CandidateMatrices {
+		t.Errorf("filter out = %d, CandidateMatrices = %d", sp.Out, st.CandidateMatrices)
+	}
+	if sp := byStage[obs.StageMonteCarlo]; sp.Out != len(answers) {
+		t.Errorf("monte_carlo out = %d, answers = %d", sp.Out, len(answers))
+	}
+	mk := byStage[obs.StageMarkov]
+	if mk.Out != mk.In-st.MatricesPrunedL5 {
+		t.Errorf("markov in=%d out=%d, MatricesPrunedL5=%d", mk.In, mk.Out, st.MatricesPrunedL5)
+	}
+}
+
+// TestTracingDoesNotChangeAnswers checks the zero-observer property: a
+// traced query returns byte-identical answers and counters to an
+// untraced one.
+func TestTracingDoesNotChangeAnswers(t *testing.T) {
+	ds, idx := buildFixture(t, 72)
+	mq, _, err := ds.ExtractQuery(randgen.New(73), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(tr *obs.Tracer) ([]Answer, Stats) {
+		proc, err := NewProcessor(idx, Params{Gamma: 0.4, Alpha: 0.3, Seed: 17, Samples: 64, Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, st, err := proc.Query(mq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ans, st
+	}
+	plain, pst := run(nil)
+	traced, tst := run(obs.NewTracer())
+	if len(plain) != len(traced) {
+		t.Fatalf("answer counts differ: %d vs %d", len(plain), len(traced))
+	}
+	for i := range plain {
+		if plain[i].Source != traced[i].Source || plain[i].Prob != traced[i].Prob {
+			t.Errorf("answer %d differs under tracing", i)
+		}
+	}
+	if pst.IOCost != tst.IOCost || pst.CandidateMatrices != tst.CandidateMatrices ||
+		pst.MatricesPrunedL5 != tst.MatricesPrunedL5 {
+		t.Errorf("counters differ under tracing: %+v vs %+v", pst, tst)
+	}
+}
+
+// BenchmarkNoopTraceQuery measures the full query path with tracing
+// disabled — compare against BenchmarkTracedQuery for the observability
+// overhead on real queries (acceptance: < 2%).
+func BenchmarkNoopTraceQuery(b *testing.B) {
+	benchQuery(b, false)
+}
+
+func BenchmarkTracedQuery(b *testing.B) {
+	benchQuery(b, true)
+}
+
+func benchQuery(b *testing.B, traced bool) {
+	ds, err := synth.GenerateDatabase(synth.DBParams{
+		N: 40, NMin: 8, NMax: 14, LMin: 10, LMax: 16,
+		Dist: synth.Uniform, GenePool: 60, Seed: 74,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := index.Build(ds.DB, index.Options{D: 2, Samples: 32, Seed: 74})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mq, _, err := ds.ExtractQuery(randgen.New(75), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{Gamma: 0.5, Alpha: 0.3, Seed: 75, Analytic: true}
+	if traced {
+		p.Trace = obs.NewTracer()
+	}
+	proc, err := NewProcessor(idx, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := proc.Query(mq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

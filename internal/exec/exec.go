@@ -9,6 +9,10 @@
 // I/O accountant view (pagestore.Reader) and by addressing randomness per
 // work unit (randgen.SeedFrom) rather than per goroutine, so results never
 // depend on the goroutine schedule.
+//
+// A Context may also carry an obs.Tracer (WithTracer) so the query
+// pipeline can record per-stage spans; a nil tracer is the disabled
+// state and costs a single pointer test per recording site.
 package exec
 
 import (
@@ -16,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/imgrn/imgrn/internal/obs"
 	"github.com/imgrn/imgrn/internal/pagestore"
 )
 
@@ -27,6 +32,7 @@ type Context struct {
 	ctx     context.Context
 	io      *pagestore.Reader
 	workers int
+	trace   *obs.Tracer
 }
 
 // New returns an execution context. A nil ctx means context.Background();
@@ -47,6 +53,19 @@ func New(ctx context.Context, io *pagestore.Reader, workers int) *Context {
 func Background(io *pagestore.Reader) *Context {
 	return New(context.Background(), io, 1)
 }
+
+// WithTracer attaches a per-query trace collector (see obs.Tracer) and
+// returns c for chaining. A nil tracer (the default) disables tracing:
+// every span operation on the nil tracer is a no-op pointer test, so the
+// instrumented query path is unaffected when observability is off.
+func (c *Context) WithTracer(t *obs.Tracer) *Context {
+	c.trace = t
+	return c
+}
+
+// Tracer returns the query's trace collector (nil when tracing is
+// disabled; all obs.Tracer methods are nil-safe).
+func (c *Context) Tracer() *obs.Tracer { return c.trace }
 
 // Ctx returns the underlying context.Context.
 func (c *Context) Ctx() context.Context { return c.ctx }

@@ -67,18 +67,35 @@ func workload(ds *synth.Dataset, p Params, nq int) ([]*gene.Matrix, error) {
 	return queries, nil
 }
 
-// Aggregate averages the Section-6 metrics over a query workload.
+// Aggregate averages the Section-6 metrics over a query workload, plus
+// the per-stage timings and cache effectiveness the observability layer
+// surfaces (all averaged per query).
 type Aggregate struct {
 	CPUSeconds float64 // traversal + refinement, averaged
 	IOCost     float64 // page accesses, averaged
 	Candidates float64 // candidate genes after pruning, averaged
 	Answers    float64
 	Queries    int
+
+	// Stage breakdown: query-GRN inference, index traversal, Lemma-5
+	// upper-bound pruning and exact Monte Carlo verification (the latter
+	// two are aggregate per-candidate CPU time; see core.Stats).
+	InferSeconds      float64
+	TraversalSeconds  float64
+	MarkovSeconds     float64
+	MonteCarloSeconds float64
+
+	// Edge-probability cache effectiveness (zero when no cache is set).
+	CacheHits   float64
+	CacheMisses float64
 }
 
 func (a Aggregate) String() string {
-	return fmt.Sprintf("cpu=%.6fs io=%.1f cand=%.2f ans=%.2f (over %d queries)",
-		a.CPUSeconds, a.IOCost, a.Candidates, a.Answers, a.Queries)
+	return fmt.Sprintf("cpu=%.6fs io=%.1f cand=%.2f ans=%.2f "+
+		"stages[infer=%.6fs traverse=%.6fs markov=%.6fs mc=%.6fs] cacheHit=%.1f cacheMiss=%.1f (over %d queries)",
+		a.CPUSeconds, a.IOCost, a.Candidates, a.Answers,
+		a.InferSeconds, a.TraversalSeconds, a.MarkovSeconds, a.MonteCarloSeconds,
+		a.CacheHits, a.CacheMisses, a.Queries)
 }
 
 // queryEngine abstracts the three methods (IM-GRN, Baseline, LinearScan).
@@ -98,6 +115,12 @@ func runWorkload(eng queryEngine, queries []*gene.Matrix) (Aggregate, error) {
 		agg.IOCost += float64(st.IOCost)
 		agg.Candidates += float64(st.CandidateGenes)
 		agg.Answers += float64(st.Answers)
+		agg.InferSeconds += st.InferQuery.Seconds()
+		agg.TraversalSeconds += st.Traversal.Seconds()
+		agg.MarkovSeconds += st.MarkovPrune.Seconds()
+		agg.MonteCarloSeconds += st.MonteCarlo.Seconds()
+		agg.CacheHits += float64(st.CacheHits)
+		agg.CacheMisses += float64(st.CacheMisses)
 		agg.Queries++
 	}
 	if agg.Queries > 0 {
@@ -106,6 +129,12 @@ func runWorkload(eng queryEngine, queries []*gene.Matrix) (Aggregate, error) {
 		agg.IOCost /= n
 		agg.Candidates /= n
 		agg.Answers /= n
+		agg.InferSeconds /= n
+		agg.TraversalSeconds /= n
+		agg.MarkovSeconds /= n
+		agg.MonteCarloSeconds /= n
+		agg.CacheHits /= n
+		agg.CacheMisses /= n
 	}
 	return agg, nil
 }

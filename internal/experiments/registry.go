@@ -27,6 +27,7 @@ var Registry = map[string]Runner{
 	"ablation": Ablation,
 	"latency":  Latency,
 	"measures": Measures,
+	"stages":   Stages,
 }
 
 // Names returns the registered experiment identifiers sorted for display.

@@ -1,0 +1,384 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe for
+// concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (in-flight requests, pages
+// touched by the last query). All methods are safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution metric. Observations land in
+// the first bucket whose upper bound is >= the value; values above the
+// last bound land in the implicit +Inf bucket. Counts, the running sum
+// and the observation count are all atomics, so Observe is lock-free and
+// safe for concurrent use.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64
+	inf    atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits-encoded running sum
+}
+
+// DefLatencyBuckets are the default upper bounds (in seconds) for query
+// and stage latency histograms: sub-millisecond through one minute.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// newHistogram returns a histogram over the given bucket upper bounds
+// (sorted copies; DefLatencyBuckets when empty).
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a consistent-enough view of a histogram: per-bucket
+// cumulative counts plus sum and count. Taken bucket-by-bucket without a
+// global lock, so concurrent Observes may skew it by a few observations —
+// fine for monitoring, which is its only consumer.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (exclusive of +Inf).
+	Bounds []float64
+	// Cumulative[i] counts observations <= Bounds[i]; the final entry
+	// (index len(Bounds)) is the total including the +Inf bucket.
+	Cumulative []uint64
+	// Sum is the running sum of all observed values.
+	Sum float64
+	// Count is the number of observations.
+	Count uint64
+}
+
+// Snapshot captures the current bucket counts.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:     h.bounds,
+		Cumulative: make([]uint64, len(h.bounds)+1),
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.Cumulative[i] = cum
+	}
+	cum += h.inf.Load()
+	s.Cumulative[len(h.bounds)] = cum
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket containing the target rank. Returns 0 with no
+// observations; observations in the +Inf bucket report the last finite
+// bound (the histogram cannot resolve beyond it).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	n := len(s.Bounds)
+	if n == 0 || s.Cumulative[n] == 0 {
+		return 0
+	}
+	total := s.Cumulative[n]
+	rank := q * float64(total)
+	for i := 0; i < n; i++ {
+		if float64(s.Cumulative[i]) >= rank {
+			lo := 0.0
+			var below uint64
+			if i > 0 {
+				lo = s.Bounds[i-1]
+				below = s.Cumulative[i-1]
+			}
+			in := s.Cumulative[i] - below
+			if in == 0 {
+				return s.Bounds[i]
+			}
+			frac := (rank - float64(below)) / float64(in)
+			return lo + frac*(s.Bounds[i]-lo)
+		}
+	}
+	return s.Bounds[n-1]
+}
+
+// P50 is Quantile(0.50).
+func (s HistogramSnapshot) P50() float64 { return s.Quantile(0.50) }
+
+// P95 is Quantile(0.95).
+func (s HistogramSnapshot) P95() float64 { return s.Quantile(0.95) }
+
+// P99 is Quantile(0.99).
+func (s HistogramSnapshot) P99() float64 { return s.Quantile(0.99) }
+
+// metricKind tags a family for the exposition TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labelValue string // empty for unlabeled families
+	c          *Counter
+	g          *Gauge
+	h          *Histogram
+}
+
+// family is one named metric with zero or one label dimension.
+type family struct {
+	name, help, label string
+	kind              metricKind
+	buckets           []float64
+
+	mu     sync.Mutex
+	series []*series
+	byVal  map[string]*series
+}
+
+func (f *family) get(labelValue string) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byVal[labelValue]; ok {
+		return s
+	}
+	s := &series{labelValue: labelValue}
+	switch f.kind {
+	case kindCounter:
+		s.c = &Counter{}
+	case kindGauge:
+		s.g = &Gauge{}
+	default:
+		s.h = newHistogram(f.buckets)
+	}
+	f.byVal[labelValue] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Registry holds named metric families and renders them in the
+// Prometheus text exposition format. Families are registered once
+// (repeat registrations of the same name return the existing metric,
+// panicking on a kind mismatch) and listed in registration order.
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, label string, kind metricKind, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || f.label != label {
+			panic(fmt.Sprintf("obs: metric %q re-registered with a different shape", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, label: label, kind: kind, buckets: buckets,
+		byVal: make(map[string]*series),
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, "", kindCounter, nil).get("").c
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, "", kindGauge, nil).get("").g
+}
+
+// Histogram registers (or fetches) an unlabeled histogram over the given
+// bucket upper bounds (DefLatencyBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.family(name, help, "", kindHistogram, buckets).get("").h
+}
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a counter family keyed by the given label name.
+func (r *Registry) CounterVec(name, help, label string) CounterVec {
+	return CounterVec{r.family(name, help, label, kindCounter, nil)}
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v CounterVec) With(labelValue string) *Counter { return v.f.get(labelValue).c }
+
+// HistogramVec is a histogram family with one label dimension.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a histogram family keyed by the given label name.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) HistogramVec {
+	return HistogramVec{r.family(name, help, label, kindHistogram, buckets)}
+}
+
+// With returns the histogram for one label value, creating it on first use.
+func (v HistogramVec) With(labelValue string) *Histogram { return v.f.get(labelValue).h }
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): # HELP / # TYPE headers followed by
+// one sample line per series, histograms expanded into cumulative
+// {le="..."} buckets plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.families))
+	copy(fams, r.families)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		ser := make([]*series, len(f.series))
+		copy(ser, f.series)
+		f.mu.Unlock()
+		// A family with no series yet still announces itself: vec families
+		// (e.g. errors by code) must be discoverable before the first event.
+		sort.Slice(ser, func(i, j int) bool { return ser[i].labelValue < ser[j].labelValue })
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range ser {
+			switch f.kind {
+			case kindCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelPair(f.label, s.labelValue), s.c.Value())
+			case kindGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelPair(f.label, s.labelValue), s.g.Value())
+			default:
+				writeHistogram(&b, f, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, f *family, s *series) {
+	snap := s.h.Snapshot()
+	for i, bound := range snap.Bounds {
+		fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+			labelPairs(f.label, s.labelValue, "le", formatFloat(bound)), snap.Cumulative[i])
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", f.name,
+		labelPairs(f.label, s.labelValue, "le", "+Inf"), snap.Cumulative[len(snap.Bounds)])
+	fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelPair(f.label, s.labelValue), formatFloat(snap.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelPair(f.label, s.labelValue), snap.Count)
+}
+
+// labelPair renders {name="value"}, or nothing when the family is
+// unlabeled.
+func labelPair(name, value string) string {
+	if name == "" {
+		return ""
+	}
+	return "{" + name + `="` + escapeLabel(value) + `"}`
+}
+
+// labelPairs renders one or two label pairs (the family label, if any,
+// plus the histogram le label).
+func labelPairs(name, value, name2, value2 string) string {
+	if name == "" {
+		return "{" + name2 + `="` + escapeLabel(value2) + `"}`
+	}
+	return "{" + name + `="` + escapeLabel(value) + `",` + name2 + `="` + escapeLabel(value2) + `"}`
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

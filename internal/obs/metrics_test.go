@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// <=1: {0.5, 1} = 2; <=2: +{1.5, 2} = 4; <=5: +{3} = 5; +Inf: +{10} = 6.
+	want := []uint64{2, 4, 5, 6}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+	if s.Count != 6 {
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if got, want := s.Sum, 0.5+1+1.5+2+3+10; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{0.01, 0.1, 1, 10})
+	// 100 observations uniformly inside (0, 0.01]: all in the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.005)
+	}
+	s := h.Snapshot()
+	if p := s.P50(); p <= 0 || p > 0.01 {
+		t.Errorf("p50 = %g, want within (0, 0.01]", p)
+	}
+	if p := s.P99(); p <= 0 || p > 0.01 {
+		t.Errorf("p99 = %g, want within (0, 0.01]", p)
+	}
+
+	// Split 90/10 across buckets 1 and 3: p50 in bucket 1, p95 in bucket 3.
+	h2 := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 90; i++ {
+		h2.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(3)
+	}
+	s2 := h2.Snapshot()
+	if p := s2.P50(); p <= 0 || p > 1 {
+		t.Errorf("p50 = %g, want within (0, 1]", p)
+	}
+	if p := s2.P95(); p <= 2 || p > 4 {
+		t.Errorf("p95 = %g, want within (2, 4]", p)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := newHistogram(nil)
+	if p := h.Snapshot().P99(); p != 0 {
+		t.Errorf("empty histogram p99 = %g, want 0", p)
+	}
+}
+
+func TestHistogramInfBucketQuantile(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(100) // +Inf bucket
+	if p := h.Snapshot().P50(); p != 1 {
+		t.Errorf("p50 = %g, want the last finite bound 1", p)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const goroutines, iters = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("c_total", "counter")
+			ga := r.Gauge("g", "gauge")
+			h := r.Histogram("h_seconds", "hist", nil)
+			vec := r.CounterVec("v_total", "labeled", "k")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				ga.Add(1)
+				h.Observe(float64(i%10) / 100)
+				vec.With("a").Inc()
+				if g == 0 && i == 0 {
+					vec.With("b").Add(5)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "counter").Value(); got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Gauge("g", "gauge").Value(); got != goroutines*iters {
+		t.Errorf("gauge = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("h_seconds", "hist", nil).Snapshot().Count; got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	if got := r.CounterVec("v_total", "labeled", "k").With("a").Value(); got != goroutines*iters {
+		t.Errorf("vec counter = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestRegistryShapeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("imgrn_queries_total", "total queries").Add(3)
+	r.Gauge("imgrn_in_flight", "in flight").Set(2)
+	r.Histogram("imgrn_query_seconds", "latency", []float64{0.1, 1}).Observe(0.05)
+	r.CounterVec("imgrn_errors_total", "errors", "code").With("500").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE imgrn_queries_total counter",
+		"imgrn_queries_total 3",
+		"# TYPE imgrn_in_flight gauge",
+		"imgrn_in_flight 2",
+		"# TYPE imgrn_query_seconds histogram",
+		`imgrn_query_seconds_bucket{le="0.1"} 1`,
+		`imgrn_query_seconds_bucket{le="+Inf"} 1`,
+		"imgrn_query_seconds_sum 0.05",
+		"imgrn_query_seconds_count 1",
+		`imgrn_errors_total{code="500"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("m_total", "", "k").With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if want := `m_total{k="a\"b\\c\n"} 1`; !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label missing %q in:\n%s", want, b.String())
+	}
+}

@@ -1,0 +1,31 @@
+// Package obs is the stdlib-only observability layer of the IM-GRN
+// system: a metrics registry and a per-query tracer, designed so that
+// the query path can be instrumented without perturbing the algorithm
+// it measures.
+//
+// The package has two halves:
+//
+//   - Metrics (metrics.go): a Registry of named Counters, Gauges and
+//     fixed-bucket latency Histograms. All value updates are atomic, so
+//     concurrent queries record into shared metrics without locking the
+//     hot path; the Registry renders itself in the Prometheus text
+//     exposition format (WritePrometheus) for the server's /metrics
+//     endpoint. Histograms additionally expose p50/p95/p99 snapshots
+//     (Snapshot/Quantile) for the slow-query log and trace summaries.
+//
+//   - Tracing (trace.go): a per-query Tracer collecting Spans, one per
+//     pipeline stage of the IM-GRN_Processing algorithm (query-GRN
+//     inference, index traversal, structural filtering, Markov-bound
+//     pruning, Monte Carlo refinement, top-k ranking). Every span
+//     carries its duration plus the candidate counts flowing in and out
+//     of the stage, so pruning power — the filter/verify cost split that
+//     probabilistic-graph query papers evaluate — is directly visible
+//     per query.
+//
+// A nil *Tracer is the disabled state: every method is nil-safe and
+// reduces to a pointer test, so code paths can be instrumented
+// unconditionally and pay nothing when tracing is off (see
+// BenchmarkNoopTrace in trace_test.go). Nothing in this package touches
+// randomness or query results: enabling or disabling observability
+// never changes answers.
+package obs

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordAndSpans(t *testing.T) {
+	tr := NewTracer()
+	begin := time.Now()
+	tr.Record(StageTraverse, begin, 5*time.Millisecond, 100, 10)
+	tr.Record(StageMonteCarlo, begin, 2*time.Millisecond, 10, 3)
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Stage != StageTraverse || spans[0].In != 100 || spans[0].Out != 10 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[0].Dur != 5*time.Millisecond {
+		t.Errorf("span 0 dur = %v", spans[0].Dur)
+	}
+	if spans[1].Stage != StageMonteCarlo {
+		t.Errorf("span 1 = %+v", spans[1])
+	}
+	sum := tr.Summary()
+	for _, want := range []string{"traverse=", "(100→10)", "monte_carlo=", "(10→3)"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary %q missing %q", sum, want)
+		}
+	}
+}
+
+func TestTracerStartEnd(t *testing.T) {
+	tr := NewTracer()
+	m := tr.Start(StageInfer)
+	m.End(0, 7)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Stage != StageInfer || spans[0].Out != 7 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Begin < 0 {
+		t.Errorf("negative begin offset %v", spans[0].Begin)
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Error("nil tracer reports enabled")
+	}
+	tr.Record(StageInfer, time.Now(), time.Second, 1, 1) // must not panic
+	tr.Start(StageTraverse).End(5, 5)
+	if tr.Spans() != nil {
+		t.Error("nil tracer returned spans")
+	}
+	if tr.Summary() != "" {
+		t.Error("nil tracer returned a summary")
+	}
+}
+
+func TestStageNames(t *testing.T) {
+	names := StageNames()
+	if len(names) != int(numStages) {
+		t.Fatalf("got %d names, want %d", len(names), int(numStages))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate stage name %q", n)
+		}
+		seen[n] = true
+	}
+	if Stage(200).String() == "" {
+		t.Error("out-of-range stage has empty name")
+	}
+}
+
+// BenchmarkNoopTraceSpan measures the disabled-tracing cost of one
+// Start/End pair on a nil tracer: it must reduce to pointer tests so
+// instrumented hot paths pay nothing when tracing is off (the < 2%
+// overhead acceptance bound; a full query does work many orders of
+// magnitude above this per-span cost).
+func BenchmarkNoopTraceSpan(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start(StageTraverse).End(i, i)
+	}
+}
+
+// BenchmarkNoopTraceRecord is the Record-style no-op path used by the
+// query processor (which computes durations itself).
+func BenchmarkNoopTraceRecord(b *testing.B) {
+	var tr *Tracer
+	var begin time.Time
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(StageMonteCarlo, begin, 0, i, i)
+	}
+}
+
+// BenchmarkEnabledTraceSpan is the enabled-path counterpart, for
+// comparing against the no-op benchmarks.
+func BenchmarkEnabledTraceSpan(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Start(StageTraverse).End(i, i)
+		tr.mu.Lock()
+		tr.spans = tr.spans[:0] // keep the slice from growing unboundedly
+		tr.mu.Unlock()
+	}
+}

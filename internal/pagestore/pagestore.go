@@ -4,6 +4,12 @@
 // accesses — the I/O-cost metric of Section 6 — optionally through an LRU
 // buffer pool so that repeated touches of a hot page are absorbed the way a
 // DBMS buffer manager would absorb them.
+//
+// Queries draw private Readers from a shared Accountant: each reader
+// carries its own counters (and a cold buffer of the accountant's
+// capacity), so concurrent queries report independent I/O statistics.
+// Those per-query numbers surface as Stats.IOCost/IOHits in query
+// results and feed the imgrn_reader_* metric families (DESIGN.md §8).
 package pagestore
 
 import "fmt"

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// queryFixture runs one successful /query against s so that the query
+// metrics have data.
+func queryFixture(t *testing.T, s *Server, trace bool) QueryResponse {
+	t.Helper()
+	// The fixture database plants the A,B,C module in every source; use
+	// source 3's own columns so the query matches.
+	m := s.idx.DB().BySource(3)
+	req := QueryRequest{
+		Genes:   []string{"A", "B", "C"},
+		Columns: [][]float64{m.Col(0), m.Col(1), m.Col(2)},
+		Params:  ParamsJSON{Gamma: 0.6, Alpha: 0.4, Seed: 3, Analytic: true, Trace: trace},
+	}
+	rec := postJSON(t, s, "/query", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query status = %d body %s", rec.Code, rec.Body)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func scrape(t *testing.T, s *Server) string {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	return rec.Body.String()
+}
+
+// parseExposition validates the Prometheus text format line by line and
+// returns the sample values keyed by full series name (including the
+// label part, verbatim).
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := make(map[string]float64)
+	helped := make(map[string]bool)
+	typed := make(map[string]bool)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "# HELP "); ok {
+			fam, _, found := strings.Cut(name, " ")
+			if !found {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			helped[fam] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fam, kind, found := strings.Cut(rest, " ")
+			if !found || (kind != "counter" && kind != "gauge" && kind != "histogram") {
+				t.Fatalf("line %d: bad TYPE: %q", ln+1, line)
+			}
+			typed[fam] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		series, valText, found := strings.Cut(line, " ")
+		if !found {
+			t.Fatalf("line %d: sample without value: %q", ln+1, line)
+		}
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, line, err)
+		}
+		fam := series
+		if i := strings.IndexByte(fam, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d: unterminated labels: %q", ln+1, line)
+			}
+			fam = fam[:i]
+		}
+		// Histogram sample suffixes belong to the base family.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(fam, suf); base != fam && typed[base] {
+				fam = base
+				break
+			}
+		}
+		if !helped[fam] || !typed[fam] {
+			t.Fatalf("line %d: sample %q before HELP/TYPE of %q", ln+1, line, fam)
+		}
+		samples[series] = v
+	}
+	return samples
+}
+
+// TestMetricsExposition runs a query and checks the /metrics output is
+// well-formed and carries every family the observability layer promises.
+func TestMetricsExposition(t *testing.T) {
+	s, _, _ := fixture(t)
+	resp := queryFixture(t, s, false)
+	samples := parseExposition(t, scrape(t, s))
+
+	get := func(series string) float64 {
+		t.Helper()
+		v, ok := samples[series]
+		if !ok {
+			t.Fatalf("series %q missing from /metrics", series)
+		}
+		return v
+	}
+	if v := get(`imgrn_requests_total{endpoint="query"}`); v != 1 {
+		t.Errorf("requests{query} = %v, want 1", v)
+	}
+	get(`imgrn_requests_total{endpoint="query-graph"}`) // pre-seeded
+	get(`imgrn_requests_total{endpoint="cluster"}`)
+	if v := get("imgrn_query_seconds_count"); v != 1 {
+		t.Errorf("query_seconds_count = %v, want 1", v)
+	}
+	if v := get("imgrn_query_seconds_sum"); v <= 0 {
+		t.Errorf("query_seconds_sum = %v, want > 0", v)
+	}
+	// Every pipeline stage family is pre-seeded even before its stage runs.
+	for _, stage := range []string{"infer", "traverse", "filter", "markov_prune", "monte_carlo", "topk"} {
+		get(fmt.Sprintf(`imgrn_stage_seconds_count{stage=%q}`, stage))
+	}
+	if v := get(`imgrn_stage_seconds_count{stage="infer"}`); v != 1 {
+		t.Errorf("stage_seconds_count{infer} = %v, want 1", v)
+	}
+	if v := get("imgrn_candidates_refined_total"); v != float64(resp.Stats.CandidateMatrices-resp.Stats.MatricesPrunedL5) {
+		t.Errorf("candidates_refined = %v, stats say %d", v,
+			resp.Stats.CandidateMatrices-resp.Stats.MatricesPrunedL5)
+	}
+	get("imgrn_candidates_filtered_total")
+	if v := get("imgrn_edgeprob_cache_misses_total"); v != float64(resp.Stats.CacheMisses) {
+		t.Errorf("cache_misses = %v, stats say %d", v, resp.Stats.CacheMisses)
+	}
+	get("imgrn_edgeprob_cache_hits_total")
+	if v := get("imgrn_reader_page_accesses_total"); v != float64(resp.Stats.IOCost) {
+		t.Errorf("page_accesses = %v, stats say %d", v, resp.Stats.IOCost)
+	}
+	if v := get("imgrn_reader_pages"); v != float64(resp.Stats.IOCost) {
+		t.Errorf("reader_pages gauge = %v, stats say %d", v, resp.Stats.IOCost)
+	}
+	get("imgrn_reader_buffer_hits_total")
+	if v := get("imgrn_requests_in_flight"); v != 0 {
+		t.Errorf("in_flight = %v, want 0 at rest", v)
+	}
+	get("imgrn_requests_shed_total")
+	get("imgrn_slow_queries_total")
+}
+
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	s, _, _ := fixture(t)
+	req := httptest.NewRequest(http.MethodPost, "/metrics", strings.NewReader("{}"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status = %d", rec.Code)
+	}
+}
+
+// TestErrorCounter checks error responses land in the by-code counter.
+func TestErrorCounter(t *testing.T) {
+	s, _, _ := fixture(t)
+	if rec := postJSON(t, s, "/query", map[string]any{"genes": []string{"nosuch"}}); rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	samples := parseExposition(t, scrape(t, s))
+	if v := samples[`imgrn_request_errors_total{code="400"}`]; v != 1 {
+		t.Fatalf("errors{400} = %v, want 1", v)
+	}
+}
+
+// TestTraceInResponse checks the opt-in per-request trace payload.
+func TestTraceInResponse(t *testing.T) {
+	s, _, _ := fixture(t)
+	resp := queryFixture(t, s, true)
+	if len(resp.Trace) == 0 {
+		t.Fatal("params.trace=true produced no trace spans")
+	}
+	stages := make(map[string]SpanJSON)
+	for _, sp := range resp.Trace {
+		if sp.DurSeconds < 0 || sp.BeginSeconds < 0 {
+			t.Errorf("span %s has negative timing: %+v", sp.Stage, sp)
+		}
+		stages[sp.Stage] = sp
+	}
+	for _, want := range []string{"infer", "traverse", "filter"} {
+		if _, ok := stages[want]; !ok {
+			t.Errorf("trace missing stage %q (got %v)", want, resp.Trace)
+		}
+	}
+	if sp, ok := stages["monte_carlo"]; ok && sp.Out != resp.Stats.Answers {
+		t.Errorf("monte_carlo out = %d, answers = %d", sp.Out, resp.Stats.Answers)
+	}
+
+	// And the default stays trace-free on the wire.
+	if resp := queryFixture(t, s, false); len(resp.Trace) != 0 {
+		t.Fatalf("untraced request returned %d spans", len(resp.Trace))
+	}
+}
+
+// TestSlowQueryLog checks that queries over the threshold are logged with
+// their stage breakdown and counted.
+func TestSlowQueryLog(t *testing.T) {
+	s, _, _ := fixture(t)
+	var buf bytes.Buffer
+	s.SlowQueryThreshold = time.Nanosecond // every query is "slow"
+	s.SlowQueryLog = log.New(&buf, "", 0)
+	queryFixture(t, s, false)
+	out := buf.String()
+	if !strings.Contains(out, "slow query: endpoint=query") {
+		t.Fatalf("slow-query log missing entry: %q", out)
+	}
+	if !strings.Contains(out, "infer=") || !strings.Contains(out, "traverse=") {
+		t.Errorf("slow-query log missing stage breakdown: %q", out)
+	}
+	samples := parseExposition(t, scrape(t, s))
+	if v := samples["imgrn_slow_queries_total"]; v != 1 {
+		t.Errorf("slow_queries_total = %v, want 1", v)
+	}
+
+	// Raise the threshold out of reach: no further log lines.
+	buf.Reset()
+	s.SlowQueryThreshold = time.Hour
+	queryFixture(t, s, false)
+	if buf.Len() != 0 {
+		t.Errorf("fast query logged as slow: %q", buf.String())
+	}
+}
+
+// TestPprofGate checks /debug/pprof/ answers 404 until EnablePprof.
+func TestPprofGate(t *testing.T) {
+	s, _, _ := fixture(t)
+	get := func() int {
+		req := httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if code := get(); code != http.StatusNotFound {
+		t.Fatalf("pprof disabled: status = %d, want 404", code)
+	}
+	s.EnablePprof = true
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("pprof enabled: status = %d, want 200", code)
+	}
+}

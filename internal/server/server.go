@@ -10,13 +10,25 @@
 // bounds each query's wall-clock time through context cancellation, and
 // MaxConcurrent sheds load with 503 when too many queries are in flight.
 //
+// The server is fully observable: every query runs under an obs.Tracer,
+// its per-stage spans and Stats feed the Metrics registry exposed at
+// /metrics in the Prometheus text format (latency and per-stage duration
+// histograms, pruning-power counters, cache and page-I/O accounting,
+// in-flight/shed gauges — see the DESIGN.md metric catalog), queries
+// slower than SlowQueryThreshold are logged with their stage breakdown,
+// and runtime profiling is available under /debug/pprof/ when
+// EnablePprof is set. Requests may opt into a per-request trace summary
+// in the JSON response with "trace": true in their params.
+//
 // Endpoints:
 //
-//	GET  /healthz      liveness probe
-//	GET  /stats        database and index statistics
-//	POST /query        IM-GRN query from a feature matrix
-//	POST /query-graph  IM-GRN query from an explicit probabilistic pattern
-//	POST /cluster      cluster the data sources by regulatory structure
+//	GET  /healthz       liveness probe
+//	GET  /stats         database and index statistics
+//	GET  /metrics       Prometheus text exposition of the Metrics registry
+//	GET  /debug/pprof/  net/http/pprof handlers (404 unless EnablePprof)
+//	POST /query         IM-GRN query from a feature matrix
+//	POST /query-graph   IM-GRN query from an explicit probabilistic pattern
+//	POST /cluster       cluster the data sources by regulatory structure
 package server
 
 import (
@@ -24,7 +36,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -33,6 +48,7 @@ import (
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/grn"
 	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/obs"
 	"github.com/imgrn/imgrn/internal/randgen"
 )
 
@@ -62,6 +78,25 @@ type Server struct {
 	// params (see core.Params.Workers). 0 preserves the exact sequential
 	// per-query algorithm.
 	Workers int
+
+	// Metrics is the registry served at /metrics. New installs a fresh
+	// registry with the full imgrn_* metric catalog (see DESIGN.md).
+	Metrics *obs.Registry
+
+	// EnablePprof exposes the net/http/pprof handlers under
+	// /debug/pprof/; the routes answer 404 while it is false. Set it
+	// before serving.
+	EnablePprof bool
+
+	// SlowQueryThreshold logs queries whose total wall-clock time meets
+	// or exceeds it to SlowQueryLog, with their per-stage breakdown
+	// (0 disables the slow-query log).
+	SlowQueryThreshold time.Duration
+
+	// SlowQueryLog receives slow-query lines (log.Default() when nil).
+	SlowQueryLog *log.Logger
+
+	met serverMetrics
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -98,18 +133,109 @@ func (s *Server) cacheFor(p ParamsJSON) *core.EdgeProbCache {
 	return c
 }
 
+// serverMetrics bundles the registry instruments the handlers record
+// into; initMetrics registers them all eagerly so every family appears
+// in /metrics from the first scrape, before any query has run.
+type serverMetrics struct {
+	requests     obs.CounterVec // by endpoint
+	errors       obs.CounterVec // by HTTP status code
+	latency      *obs.Histogram
+	stage        obs.HistogramVec // by pipeline stage
+	candFiltered *obs.Counter
+	candRefined  *obs.Counter
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	pageAccesses *obs.Counter
+	bufferHits   *obs.Counter
+	readerPages  *obs.Gauge
+	inFlight     *obs.Gauge
+	shed         *obs.Counter
+	slow         *obs.Counter
+}
+
+func (m *serverMetrics) init(r *obs.Registry) {
+	m.requests = r.CounterVec("imgrn_requests_total",
+		"Requests served, by endpoint.", "endpoint")
+	m.errors = r.CounterVec("imgrn_request_errors_total",
+		"Error responses, by HTTP status code.", "code")
+	m.latency = r.Histogram("imgrn_query_seconds",
+		"End-to-end query latency in seconds.", nil)
+	m.stage = r.HistogramVec("imgrn_stage_seconds",
+		"Per-stage query pipeline durations in seconds (markov_prune and monte_carlo are aggregate CPU time across candidates).",
+		"stage", nil)
+	m.candFiltered = r.Counter("imgrn_candidates_filtered_total",
+		"Candidates removed by the pruning layers (node pairs, point pairs, Lemma-5 matrices).")
+	m.candRefined = r.Counter("imgrn_candidates_refined_total",
+		"Candidate matrices that reached exact Monte Carlo verification.")
+	m.cacheHits = r.Counter("imgrn_edgeprob_cache_hits_total",
+		"Edge-probability cache hits during refinement.")
+	m.cacheMisses = r.Counter("imgrn_edgeprob_cache_misses_total",
+		"Edge-probability cache misses during refinement.")
+	m.pageAccesses = r.Counter("imgrn_reader_page_accesses_total",
+		"Simulated disk page accesses charged to per-query readers.")
+	m.bufferHits = r.Counter("imgrn_reader_buffer_hits_total",
+		"Page touches absorbed by per-query buffer pools.")
+	m.readerPages = r.Gauge("imgrn_reader_pages",
+		"Page accesses of the most recently completed query.")
+	m.inFlight = r.Gauge("imgrn_requests_in_flight",
+		"Query/cluster requests currently executing.")
+	m.shed = r.Counter("imgrn_requests_shed_total",
+		"Requests rejected with 503 because the server was at MaxConcurrent.")
+	m.slow = r.Counter("imgrn_slow_queries_total",
+		"Queries that exceeded SlowQueryThreshold.")
+	// Pre-create the per-stage series so the family is complete (all
+	// zero) on the first scrape.
+	for _, name := range obs.StageNames() {
+		m.stage.With(name)
+	}
+	for _, ep := range []string{"query", "query-graph", "cluster"} {
+		m.requests.With(ep)
+	}
+}
+
 // New returns a server over idx. cat translates gene names in requests;
 // a nil catalog restricts requests to numeric gene IDs.
 func New(idx *index.Index, cat *gene.Catalog) *Server {
 	s := &Server{idx: idx, cat: cat, MaxBodyBytes: 32 << 20, QueryTimeout: 30 * time.Second}
+	s.Metrics = obs.NewRegistry()
+	s.met.init(s.Metrics)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/query-graph", s.handleQueryGraph)
 	mux.HandleFunc("/cluster", s.handleCluster)
+	mux.HandleFunc("/debug/pprof/", s.gatePprof(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", s.gatePprof(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", s.gatePprof(pprof.Profile))
+	mux.HandleFunc("/debug/pprof/symbol", s.gatePprof(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", s.gatePprof(pprof.Trace))
 	s.mux = mux
 	return s
+}
+
+// gatePprof wraps a net/http/pprof handler so profiling is only
+// reachable when EnablePprof is set.
+func (s *Server) gatePprof(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.EnablePprof {
+			http.NotFound(w, r)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.error(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.Metrics.WritePrometheus(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -119,7 +245,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // acquire claims an execution slot, reporting false (and answering 503)
 // when the server is at MaxConcurrent in-flight requests. The returned
-// release func must be called when the request finishes.
+// release func must be called when the request finishes. The in-flight
+// gauge tracks held slots; shed requests increment the shed counter.
 func (s *Server) acquire(w http.ResponseWriter) (release func(), ok bool) {
 	s.semOnce.Do(func() {
 		if s.MaxConcurrent > 0 {
@@ -127,13 +254,16 @@ func (s *Server) acquire(w http.ResponseWriter) (release func(), ok bool) {
 		}
 	})
 	if s.sem == nil {
-		return func() {}, true
+		s.met.inFlight.Inc()
+		return func() { s.met.inFlight.Dec() }, true
 	}
 	select {
 	case s.sem <- struct{}{}:
-		return func() { <-s.sem }, true
+		s.met.inFlight.Inc()
+		return func() { s.met.inFlight.Dec(); <-s.sem }, true
 	default:
-		writeError(w, http.StatusServiceUnavailable, "server at capacity")
+		s.met.shed.Inc()
+		s.error(w, http.StatusServiceUnavailable, "server at capacity")
 		return nil, false
 	}
 }
@@ -147,19 +277,26 @@ func (s *Server) queryContext(r *http.Request) (context.Context, context.CancelF
 	return context.WithCancel(r.Context())
 }
 
-// writeQueryError maps a query error to an HTTP status: deadline and
+// queryError maps a query error to an HTTP status: deadline and
 // cancellation become 503 (the query was shed, not wrong), everything
 // else 500.
-func writeQueryError(w http.ResponseWriter, err error) {
+func (s *Server) queryError(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusServiceUnavailable, "query timed out")
+		s.error(w, http.StatusServiceUnavailable, "query timed out")
 		return
 	}
 	if errors.Is(err, context.Canceled) {
-		writeError(w, http.StatusServiceUnavailable, "query cancelled")
+		s.error(w, http.StatusServiceUnavailable, "query cancelled")
 		return
 	}
-	writeError(w, http.StatusInternalServerError, err.Error())
+	s.error(w, http.StatusInternalServerError, err.Error())
+}
+
+// error answers with a JSON error body and counts it in the error
+// metric, labeled by status code.
+func (s *Server) error(w http.ResponseWriter, status int, msg string) {
+	s.met.errors.With(strconv.Itoa(status)).Inc()
+	writeError(w, status, msg)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -179,7 +316,7 @@ type StatsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		s.error(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	sum := s.idx.DB().Summary()
@@ -226,6 +363,10 @@ type ParamsJSON struct {
 	// Workers overrides the server's intra-query parallelism for this
 	// request (0 = use the server default).
 	Workers int `json:"workers,omitempty"`
+	// Trace requests a per-stage trace summary in the response (the
+	// "trace" array; see SpanJSON). Queries are traced server-side for
+	// metrics either way; this only controls the response payload.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // EdgeJSON is one probabilistic edge of a pattern or answer.
@@ -243,23 +384,95 @@ type AnswerJSON struct {
 	Edges  []EdgeJSON `json:"edges"`
 }
 
-// QueryResponse is the /query and /query-graph reply.
+// QueryResponse is the /query and /query-graph reply. Trace is present
+// only when the request set params.trace.
 type QueryResponse struct {
 	Answers []AnswerJSON `json:"answers"`
 	Stats   QueryStats   `json:"stats"`
+	Trace   []SpanJSON   `json:"trace,omitempty"`
 }
 
-// QueryStats carries the Section-6 cost metrics. IOCost is the page-access
-// count of this request alone: accounting is per query, so concurrent
-// requests never pollute each other's counters.
+// QueryStats carries the full core.Stats cost metrics of one request on
+// the wire. Field names are the documented wire format (DESIGN.md
+// "Observability" § wire stats): every core.Stats field appears under
+// its lowerCamelCase name, durations as *Seconds floats, with the one
+// historical exception that IOCost is named ioPages (it counts simulated
+// page accesses). Accounting is per query: concurrent requests never
+// pollute each other's counters.
 type QueryStats struct {
-	QueryVertices  int     `json:"queryVertices"`
-	QueryEdges     int     `json:"queryEdges"`
-	CandidateGenes int     `json:"candidateGenes"`
-	IOCost         uint64  `json:"ioPages"`
-	CacheHits      int     `json:"cacheHits"`
-	CacheMisses    int     `json:"cacheMisses"`
-	TotalSeconds   float64 `json:"totalSeconds"`
+	QueryVertices     int     `json:"queryVertices"`
+	QueryEdges        int     `json:"queryEdges"`
+	NodePairsVisited  int     `json:"nodePairsVisited"`
+	NodePairsPruned   int     `json:"nodePairsPruned"`
+	PointPairsChecked int     `json:"pointPairsChecked"`
+	PointPairsPruned  int     `json:"pointPairsPruned"`
+	CandidateGenes    int     `json:"candidateGenes"`
+	CandidateMatrices int     `json:"candidateMatrices"`
+	MatricesPrunedL5  int     `json:"matricesPrunedL5"`
+	Answers           int     `json:"answers"`
+	IOCost            uint64  `json:"ioPages"`
+	IOHits            uint64  `json:"ioBufferHits"`
+	CacheHits         int     `json:"cacheHits"`
+	CacheMisses       int     `json:"cacheMisses"`
+	InferSeconds      float64 `json:"inferSeconds"`
+	TraversalSeconds  float64 `json:"traversalSeconds"`
+	RefinementSeconds float64 `json:"refinementSeconds"`
+	MarkovSeconds     float64 `json:"markovPruneSeconds"`
+	MonteCarloSeconds float64 `json:"monteCarloSeconds"`
+	TotalSeconds      float64 `json:"totalSeconds"`
+}
+
+// statsJSON maps core.Stats onto the wire format.
+func statsJSON(st core.Stats) QueryStats {
+	return QueryStats{
+		QueryVertices:     st.QueryVertices,
+		QueryEdges:        st.QueryEdges,
+		NodePairsVisited:  st.NodePairsVisited,
+		NodePairsPruned:   st.NodePairsPruned,
+		PointPairsChecked: st.PointPairsChecked,
+		PointPairsPruned:  st.PointPairsPruned,
+		CandidateGenes:    st.CandidateGenes,
+		CandidateMatrices: st.CandidateMatrices,
+		MatricesPrunedL5:  st.MatricesPrunedL5,
+		Answers:           st.Answers,
+		IOCost:            st.IOCost,
+		IOHits:            st.IOHits,
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
+		InferSeconds:      st.InferQuery.Seconds(),
+		TraversalSeconds:  st.Traversal.Seconds(),
+		RefinementSeconds: st.Refinement.Seconds(),
+		MarkovSeconds:     st.MarkovPrune.Seconds(),
+		MonteCarloSeconds: st.MonteCarlo.Seconds(),
+		TotalSeconds:      st.Total.Seconds(),
+	}
+}
+
+// SpanJSON is one pipeline-stage span of a traced request.
+type SpanJSON struct {
+	Stage        string  `json:"stage"`
+	BeginSeconds float64 `json:"beginSeconds"`
+	DurSeconds   float64 `json:"durSeconds"`
+	In           int     `json:"in"`
+	Out          int     `json:"out"`
+}
+
+func spansJSON(tr *obs.Tracer) []SpanJSON {
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanJSON, len(spans))
+	for i, sp := range spans {
+		out[i] = SpanJSON{
+			Stage:        sp.Stage.String(),
+			BeginSeconds: sp.Begin.Seconds(),
+			DurSeconds:   sp.Dur.Seconds(),
+			In:           sp.In,
+			Out:          sp.Out,
+		}
+	}
+	return out
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -269,22 +482,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := s.resolveGenes(req.Genes)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(req.Columns) != len(ids) {
-		writeError(w, http.StatusBadRequest,
+		s.error(w, http.StatusBadRequest,
 			fmt.Sprintf("%d gene names for %d columns", len(ids), len(req.Columns)))
 		return
 	}
 	mq, err := gene.NewMatrix(-1, ids, req.Columns)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	proc, err := s.processor(req.Params)
+	tr := obs.NewTracer()
+	proc, err := s.processor(req.Params, tr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	release, ok := s.acquire(w)
@@ -296,10 +510,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	answers, st, err := proc.QueryContext(ctx, mq)
 	if err != nil {
-		writeQueryError(w, err)
+		s.queryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.response(answers, st, req.Params.TopK))
+	s.observeQuery("query", st, tr)
+	writeJSON(w, http.StatusOK, s.response(answers, st, req.Params, tr))
 }
 
 func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
@@ -309,20 +524,21 @@ func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	ids, err := s.resolveGenes(req.Genes)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	q := grn.NewGraph(ids)
 	for _, e := range req.Edges {
 		if e.S < 0 || e.S >= len(ids) || e.T < 0 || e.T >= len(ids) || e.S == e.T {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad edge (%d,%d)", e.S, e.T))
+			s.error(w, http.StatusBadRequest, fmt.Sprintf("bad edge (%d,%d)", e.S, e.T))
 			return
 		}
 		q.SetEdge(e.S, e.T, e.Prob)
 	}
-	proc, err := s.processor(req.Params)
+	tr := obs.NewTracer()
+	proc, err := s.processor(req.Params, tr)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	release, ok := s.acquire(w)
@@ -334,10 +550,11 @@ func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	answers, st, err := proc.QueryGraphContext(ctx, q)
 	if err != nil {
-		writeQueryError(w, err)
+		s.queryError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.response(answers, st, req.Params.TopK))
+	s.observeQuery("query-graph", st, tr)
+	writeJSON(w, http.StatusOK, s.response(answers, st, req.Params, tr))
 }
 
 // ClusterRequest is the /cluster payload: group the indexed data sources
@@ -371,7 +588,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	}
 	db := s.idx.DB()
 	if req.K < 1 || req.K > db.Len() {
-		writeError(w, http.StatusBadRequest,
+		s.error(w, http.StatusBadRequest,
 			fmt.Sprintf("k=%d out of range [1,%d]", req.K, db.Len()))
 		return
 	}
@@ -386,12 +603,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	dm, err := cluster.DistanceMatrix(db, cluster.Options{Gamma: req.Gamma})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		s.error(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	res, err := cluster.KMedoids(dm, req.K, restarts, randgen.New(req.Seed^0x5bd1e995))
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		s.error(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := ClusterResponse{Clusters: make([]ClusterJSON, res.K())}
@@ -402,24 +619,25 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	for i, c := range res.Assign {
 		resp.Clusters[c].Members = append(resp.Clusters[c].Members, db.Matrix(i).Source)
 	}
+	s.met.requests.With("cluster").Inc()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		s.error(w, http.StatusMethodNotAllowed, "use POST")
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		s.error(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return false
 	}
 	return true
 }
 
-func (s *Server) processor(p ParamsJSON) (*core.Processor, error) {
+func (s *Server) processor(p ParamsJSON, tr *obs.Tracer) (*core.Processor, error) {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = s.Workers
@@ -427,8 +645,37 @@ func (s *Server) processor(p ParamsJSON) (*core.Processor, error) {
 	return core.NewProcessor(s.idx, core.Params{
 		Gamma: p.Gamma, Alpha: p.Alpha, Samples: p.Samples,
 		Seed: p.Seed, Analytic: p.Analytic, OneSided: p.OneSided,
-		Workers: workers, Cache: s.cacheFor(p),
+		Workers: workers, Cache: s.cacheFor(p), Trace: tr,
 	})
+}
+
+// observeQuery feeds one finished query's statistics and trace spans
+// into the metrics registry and the slow-query log.
+func (s *Server) observeQuery(endpoint string, st core.Stats, tr *obs.Tracer) {
+	m := &s.met
+	m.requests.With(endpoint).Inc()
+	m.latency.Observe(st.Total.Seconds())
+	for _, sp := range tr.Spans() {
+		m.stage.With(sp.Stage.String()).Observe(sp.Dur.Seconds())
+	}
+	m.candFiltered.Add(uint64(st.NodePairsPruned + st.PointPairsPruned + st.MatricesPrunedL5))
+	if refined := st.CandidateMatrices - st.MatricesPrunedL5; refined > 0 {
+		m.candRefined.Add(uint64(refined))
+	}
+	m.cacheHits.Add(uint64(st.CacheHits))
+	m.cacheMisses.Add(uint64(st.CacheMisses))
+	m.pageAccesses.Add(st.IOCost)
+	m.bufferHits.Add(st.IOHits)
+	m.readerPages.Set(int64(st.IOCost))
+	if s.SlowQueryThreshold > 0 && st.Total >= s.SlowQueryThreshold {
+		m.slow.Inc()
+		logger := s.SlowQueryLog
+		if logger == nil {
+			logger = log.Default()
+		}
+		logger.Printf("slow query: endpoint=%s total=%v io=%d answers=%d trace: %s",
+			endpoint, st.Total.Round(time.Microsecond), st.IOCost, st.Answers, tr.Summary())
+	}
 }
 
 // resolveGenes maps request gene names to IDs via the catalog, falling
@@ -458,23 +705,21 @@ func (s *Server) geneName(id gene.ID) string {
 	return fmt.Sprintf("%d", int(id))
 }
 
-func (s *Server) response(answers []core.Answer, st core.Stats, topK int) QueryResponse {
-	if topK > 0 && len(answers) > topK {
+func (s *Server) response(answers []core.Answer, st core.Stats, p ParamsJSON, tr *obs.Tracer) QueryResponse {
+	if p.TopK > 0 && len(answers) > p.TopK {
 		// Answers arrive sorted by source; rank by probability for top-k.
+		mark := tr.Start(obs.StageTopK)
+		in := len(answers)
 		sortByProb(answers)
-		answers = answers[:topK]
+		answers = answers[:p.TopK]
+		mark.End(in, len(answers))
 	}
 	out := QueryResponse{
 		Answers: make([]AnswerJSON, 0, len(answers)),
-		Stats: QueryStats{
-			QueryVertices:  st.QueryVertices,
-			QueryEdges:     st.QueryEdges,
-			CandidateGenes: st.CandidateGenes,
-			IOCost:         st.IOCost,
-			CacheHits:      st.CacheHits,
-			CacheMisses:    st.CacheMisses,
-			TotalSeconds:   st.Total.Seconds(),
-		},
+		Stats:   statsJSON(st),
+	}
+	if p.Trace {
+		out.Trace = spansJSON(tr)
 	}
 	for _, a := range answers {
 		aj := AnswerJSON{Source: a.Source, Prob: a.Prob}
