@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-figures experiments experiments-full fmt fmt-check vet metrics-smoke clean
+.PHONY: all build test race cover bench bench-figures bench-json bench-smoke experiments experiments-full fmt fmt-check vet metrics-smoke clean
 
 all: build test
 
@@ -26,6 +26,20 @@ bench:
 # Only the per-figure benchmarks (fast sanity pass).
 bench-figures:
 	$(GO) test -bench='BenchmarkFig' -benchtime=1x .
+
+# Inference-kernel benchmarks -> BENCH_inference.json (ns/op, allocs/op,
+# derived batch-vs-scalar speedups). ParallelQuery runs at 1x so the sweep
+# stays minutes-scale.
+bench-json:
+	{ $(GO) test -run xxx -bench 'BenchmarkInferPruned|BenchmarkEdgeProbabilityScalar|BenchmarkEdgeProbabilityBatch' -benchmem . ; \
+	  $(GO) test -run xxx -bench 'BenchmarkParallelQuery' -benchtime=1x -benchmem . ; } \
+	| $(GO) run ./cmd/imgrn-benchjson > BENCH_inference.json
+	@cat BENCH_inference.json
+
+# CI gate: short fixed-size measurement asserting the batched inference
+# kernel is not slower than the scalar path it replaces.
+bench-smoke:
+	BENCH_SMOKE=1 $(GO) test -run TestBatchNotSlowerThanScalar -v .
 
 # The paper's evaluation at CI scale / Table-2 scale.
 experiments:

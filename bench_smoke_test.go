@@ -1,0 +1,44 @@
+package imgrn_test
+
+import (
+	"os"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/stats"
+)
+
+// TestBatchNotSlowerThanScalar is the CI benchmark smoke gate
+// (`make bench-smoke`): a short fixed-iteration measurement asserting the
+// batched inference kernel has not regressed below the scalar path it
+// replaces. Gated behind BENCH_SMOKE=1 so ordinary `go test` runs — and
+// loaded CI machines running the race detector — never flake on timing.
+func TestBatchNotSlowerThanScalar(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") != "1" {
+		t.Skip("set BENCH_SMOKE=1 to run the benchmark smoke gate")
+	}
+	var tb testing.B
+	m := benchInferMatrix(&tb, 100, 50, 26)
+	run := func(batch bool) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sc := grn.NewRandomizedScorer(27, stats.DefaultSamples)
+				sc.Batch = batch
+				pr := grn.NewPruner(28, 16)
+				if _, _, err := grn.InferPruned(m, sc, pr, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	scalar := run(false)
+	batch := run(true)
+	t.Logf("scalar %v/op, batch %v/op (%.2fx)", scalar.NsPerOp(), batch.NsPerOp(),
+		float64(scalar.NsPerOp())/float64(batch.NsPerOp()))
+	// The kernel targets >= 3x; the smoke gate only guards against a
+	// regression, with 20% headroom for noisy shared runners.
+	if float64(batch.NsPerOp()) > 1.2*float64(scalar.NsPerOp()) {
+		t.Errorf("batched inference kernel slower than scalar path: %v/op vs %v/op",
+			batch.NsPerOp(), scalar.NsPerOp())
+	}
+}

@@ -82,6 +82,104 @@ func BenchmarkEdgeProbabilityMC(b *testing.B) {
 	}
 }
 
+// benchInferMatrix builds an n-gene matrix of length-l columns with a
+// shared weak factor, so query-graph inference sees a realistic mix of
+// prunable and estimable pairs.
+func benchInferMatrix(b *testing.B, n, l int, seed uint64) *gene.Matrix {
+	b.Helper()
+	rng := randgen.New(seed)
+	base := make([]float64, l)
+	for i := range base {
+		base[i] = rng.Gaussian(0, 1)
+	}
+	ids := make([]gene.ID, n)
+	cols := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		ids[j] = gene.ID(j)
+		col := make([]float64, l)
+		for i := range col {
+			col[i] = 0.3*base[i] + rng.Gaussian(0, 1)
+		}
+		cols[j] = col
+	}
+	m, err := gene.NewMatrix(0, ids, cols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkInferPruned is the headline benchmark of the batched inference
+// kernel: full query-graph inference (Lemma-3 pruning + Monte Carlo
+// estimation) over an n=100, l=50 matrix, scalar path vs batch kernel. The
+// batch sub-run reports its speedup over the scalar sub-run.
+func BenchmarkInferPruned(b *testing.B) {
+	m := benchInferMatrix(b, 100, 50, 26)
+	var scalarNsPerOp float64
+	for _, mode := range []struct {
+		name  string
+		batch bool
+	}{{"scalar", false}, {"batch", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc := grn.NewRandomizedScorer(27, stats.DefaultSamples)
+				sc.Batch = mode.batch
+				pr := grn.NewPruner(28, 16)
+				if _, _, err := grn.InferPruned(m, sc, pr, 0.5); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			nsPerOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if !mode.batch {
+				scalarNsPerOp = nsPerOp
+			} else if scalarNsPerOp > 0 {
+				b.ReportMetric(scalarNsPerOp/nsPerOp, "speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkEdgeProbabilityScalar estimates 64 pairs against one target
+// column with the per-pair scalar estimator: the direct baseline for
+// BenchmarkEdgeProbabilityBatch (identical work, shared ns/pair metric).
+func BenchmarkEdgeProbabilityScalar(b *testing.B) {
+	m := benchInferMatrix(b, 65, 50, 29)
+	xt := m.StdCol(64)
+	est := stats.NewEstimator(30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < 64; s++ {
+			est.AbsEdgeProbability(m.StdCol(s), xt, stats.DefaultSamples)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/64, "ns/pair")
+}
+
+// BenchmarkEdgeProbabilityBatch estimates the same 64 pairs through one
+// shared permutation batch and the blocked dot-product kernel.
+func BenchmarkEdgeProbabilityBatch(b *testing.B) {
+	m := benchInferMatrix(b, 65, 50, 29)
+	xt := m.StdCol(64)
+	srcs := make([][]float64, 64)
+	for s := range srcs {
+		srcs[s] = m.StdCol(s)
+	}
+	dst := make([]float64, len(srcs))
+	est := stats.NewEstimator(30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est.AbsEdgeProbabilityBatch(dst, srcs, xt, stats.DefaultSamples)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(srcs)), "ns/pair")
+}
+
 func BenchmarkEdgeProbabilityAnalytic(b *testing.B) {
 	xs, xt := benchVectors(50, 3)
 	m, _ := gene.NewMatrix(0, []gene.ID{0, 1}, [][]float64{xs, xt})

@@ -1,0 +1,32 @@
+// Command imgrn-benchjson converts `go test -bench` output read from stdin
+// into a machine-readable JSON summary for the inference-kernel benchmarks
+// (`make bench-json` → BENCH_inference.json).
+//
+// The summary carries every parsed benchmark line (name, iterations, ns/op,
+// allocs/op, extra metrics such as "speedup" and "ns/pair") plus derived
+// speedup ratios for the scalar-vs-batch pairs the kernel work targets:
+// BenchmarkInferPruned/{scalar,batch} by ns/op, and
+// BenchmarkEdgeProbability{Scalar,Batch} by their ns/pair metric.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/imgrn/imgrn/internal/benchjson"
+)
+
+func main() {
+	sum, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imgrn-benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		fmt.Fprintln(os.Stderr, "imgrn-benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Package benchjson parses `go test -bench` text output into a structured
+// summary with derived scalar-vs-batch speedups, consumed by
+// cmd/imgrn-benchjson (`make bench-json`).
+package benchjson
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name string  `json:"name"`
+	Iter int64   `json:"iterations"`
+	NsOp float64 `json:"ns_per_op"`
+	// AllocsOp is allocations per op; nil when the line carries no
+	// -benchmem columns.
+	AllocsOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesOp  *float64 `json:"bytes_per_op,omitempty"`
+	// Metrics holds any extra unit metrics reported with b.ReportMetric
+	// (e.g. "speedup", "ns/pair").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Summary is the full parsed output plus derived speedup ratios.
+type Summary struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Speedups maps a comparison label to baseline-time / candidate-time
+	// (> 1 means the candidate is faster).
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// Parse reads `go test -bench` output and derives the inference-kernel
+// speedup ratios. Unparseable lines (headers, PASS/ok, logs) are skipped.
+func Parse(r io.Reader) (*Summary, error) {
+	sum := &Summary{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			sum.Benchmarks = append(sum.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(sum.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	sum.Speedups = deriveSpeedups(sum.Benchmarks)
+	return sum, nil
+}
+
+// parseLine parses one "BenchmarkName-8  N  t ns/op [...]" result line.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := f[0]
+	// Strip the -GOMAXPROCS suffix goized onto the name.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iter, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iter: iter}
+	// Remaining fields come in (value, unit) pairs.
+	seenNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsOp = v
+			seenNs = true
+		case "B/op":
+			b.BytesOp = &v
+		case "allocs/op":
+			b.AllocsOp = &v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, seenNs
+}
+
+// deriveSpeedups computes the scalar-vs-batch ratios of the inference
+// kernel benchmarks when both sides are present.
+func deriveSpeedups(bs []Benchmark) map[string]float64 {
+	byName := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		byName[b.Name] = b
+	}
+	out := make(map[string]float64)
+	if s, okS := byName["BenchmarkInferPruned/scalar"]; okS {
+		if b, okB := byName["BenchmarkInferPruned/batch"]; okB && b.NsOp > 0 {
+			out["InferPruned_batch_vs_scalar"] = s.NsOp / b.NsOp
+		}
+	}
+	s, okS := byName["BenchmarkEdgeProbabilityScalar"]
+	b, okB := byName["BenchmarkEdgeProbabilityBatch"]
+	if okS && okB {
+		sp, okSP := s.Metrics["ns/pair"]
+		bp, okBP := b.Metrics["ns/pair"]
+		if okSP && okBP && bp > 0 {
+			out["EdgeProbability_batch_vs_scalar"] = sp / bp
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/imgrn/imgrn
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInferPruned/scalar-8    5  278028218 ns/op   329504 B/op  991 allocs/op
+BenchmarkInferPruned/batch-8     5   33073406 ns/op   8.406 speedup  1620560 B/op  1262 allocs/op
+BenchmarkEdgeProbabilityScalar-8 5    3302561 ns/op   51603 ns/pair  83 B/op  0 allocs/op
+BenchmarkEdgeProbabilityBatch-8  5     373569 ns/op   5837 ns/pair   26214 B/op  0 allocs/op
+BenchmarkParallelQuery/workers=1-8  1  903704458 ns/op  64 B/op  2 allocs/op
+PASS
+ok  github.com/imgrn/imgrn 1.903s
+`
+
+func TestParse(t *testing.T) {
+	sum, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(sum.Benchmarks))
+	}
+	b0 := sum.Benchmarks[0]
+	if b0.Name != "BenchmarkInferPruned/scalar" || b0.Iter != 5 || b0.NsOp != 278028218 {
+		t.Errorf("first benchmark parsed wrong: %+v", b0)
+	}
+	if b0.AllocsOp == nil || *b0.AllocsOp != 991 {
+		t.Errorf("allocs/op parsed wrong: %+v", b0.AllocsOp)
+	}
+	b1 := sum.Benchmarks[1]
+	if b1.Metrics["speedup"] != 8.406 {
+		t.Errorf("speedup metric parsed wrong: %+v", b1.Metrics)
+	}
+	// Derived ratios.
+	if got := sum.Speedups["InferPruned_batch_vs_scalar"]; got < 8.3 || got > 8.5 {
+		t.Errorf("InferPruned speedup = %v, want ~8.4", got)
+	}
+	if got := sum.Speedups["EdgeProbability_batch_vs_scalar"]; got < 8.8 || got > 8.9 {
+		t.Errorf("EdgeProbability speedup = %v, want ~8.84", got)
+	}
+}
+
+func TestParseKeepsSubBenchNames(t *testing.T) {
+	sum, err := Parse(strings.NewReader("BenchmarkParallelQuery/workers=12-8 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Benchmarks[0].Name != "BenchmarkParallelQuery/workers=12" {
+		t.Errorf("name = %q", sum.Benchmarks[0].Name)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Error("expected error on input without benchmark lines")
+	}
+}
+
+func TestParseNoSpeedupsWhenOneSided(t *testing.T) {
+	sum, err := Parse(strings.NewReader("BenchmarkInferPruned/scalar-8 5 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Speedups != nil {
+		t.Errorf("unexpected speedups: %+v", sum.Speedups)
+	}
+}

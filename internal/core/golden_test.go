@@ -12,12 +12,10 @@ import (
 	"github.com/imgrn/imgrn/internal/synth"
 )
 
-// TestSequentialGoldenFingerprint pins the sequential (Workers <= 1) query
-// path to a fixed-seed fingerprint captured before the concurrency
-// refactor: answers, probabilities, and every Stats counter must stay
-// byte-identical across refactors. Regenerate deliberately with
-// GOLDEN_WRITE=1 after an intentional algorithm change.
-func TestSequentialGoldenFingerprint(t *testing.T) {
+// goldenFingerprint runs the shared fixed-seed query workload and renders
+// the fingerprint compared by the golden tests below.
+func goldenFingerprint(t *testing.T, params core.Params) string {
+	t.Helper()
 	ds, err := synth.GenerateDatabase(synth.DBParams{N: 120, NMin: 20, NMax: 40, LMin: 20, LMax: 30, Seed: 7, Dist: synth.Gaussian})
 	if err != nil {
 		t.Fatal(err)
@@ -26,7 +24,7 @@ func TestSequentialGoldenFingerprint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	proc, err := core.NewProcessor(idx, core.Params{Gamma: 0.5, Alpha: 0.4, Samples: 48, Seed: 9})
+	proc, err := core.NewProcessor(idx, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,19 +47,47 @@ func TestSequentialGoldenFingerprint(t *testing.T) {
 			fmt.Fprintf(&sb, "  src=%d prob=%.17g edges=%d\n", an.Source, an.Prob, len(an.Edges))
 		}
 	}
-	got := sb.String()
+	return sb.String()
+}
+
+// compareGolden checks got against the named golden file, regenerating it
+// when GOLDEN_WRITE=1.
+func compareGolden(t *testing.T, file, got string) {
+	t.Helper()
 	if os.Getenv("GOLDEN_WRITE") == "1" {
-		if err := os.WriteFile("testdata/golden.txt", []byte(got), 0o644); err != nil {
+		if err := os.WriteFile(file, []byte(got), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		t.Log("golden written")
 		return
 	}
-	want, err := os.ReadFile("testdata/golden.txt")
+	want, err := os.ReadFile(file)
 	if err != nil {
-		t.Fatal("testdata/golden.txt missing; run once with GOLDEN_WRITE=1 to capture")
+		t.Fatalf("%s missing; run once with GOLDEN_WRITE=1 to capture", file)
 	}
 	if got != string(want) {
 		t.Errorf("fixed-seed output diverged from golden:\n got:\n%s\nwant:\n%s", got, string(want))
 	}
+}
+
+// TestSequentialGoldenFingerprint pins the sequential (Workers <= 1) query
+// path to a fixed-seed fingerprint captured before the concurrency
+// refactor: answers, probabilities, and every Stats counter must stay
+// byte-identical across refactors. The batch inference kernel is disabled
+// so the scalar reference path stays pinned to the pre-kernel fingerprint.
+// Regenerate deliberately with GOLDEN_WRITE=1 after an intentional
+// algorithm change.
+func TestSequentialGoldenFingerprint(t *testing.T) {
+	got := goldenFingerprint(t, core.Params{Gamma: 0.5, Alpha: 0.4, Samples: 48, Seed: 9,
+		DisableBatchInference: true})
+	compareGolden(t, "testdata/golden.txt", got)
+}
+
+// TestBatchSequentialGoldenFingerprint pins the batched inference kernel's
+// sequential path the same way: the kernel consumes the RNG per target
+// column instead of per pair, so its fingerprint legitimately differs from
+// the scalar one, but it must be just as deterministic.
+func TestBatchSequentialGoldenFingerprint(t *testing.T) {
+	got := goldenFingerprint(t, core.Params{Gamma: 0.5, Alpha: 0.4, Samples: 48, Seed: 9})
+	compareGolden(t, "testdata/golden_batch.txt", got)
 }

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"math"
+	"time"
+
 	"github.com/imgrn/imgrn/internal/exec"
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/grn"
+	"github.com/imgrn/imgrn/internal/obs"
 	"github.com/imgrn/imgrn/internal/pagestore"
 	"github.com/imgrn/imgrn/internal/randgen"
 )
@@ -33,6 +37,7 @@ import (
 func (p *Processor) scorerFor(coords ...uint64) (*grn.RandomizedScorer, *grn.Pruner) {
 	sc := grn.NewRandomizedScorer(randgen.SeedFrom(p.params.Seed^seedScorer, coords...), p.params.Samples)
 	sc.OneSided = p.params.OneSided
+	sc.Batch = !p.params.DisableBatchInference
 	pr := grn.NewPruner(randgen.SeedFrom(p.params.Seed^seedPruner, coords...), p.params.BoundSamples)
 	pr.OneSided = p.params.OneSided
 	return sc, pr
@@ -71,11 +76,16 @@ func (p *Processor) refineParallel(ec *exec.Context, q *grn.Graph, sources []int
 	return answers, nil
 }
 
-// inferPrunedParallel is the Workers > 1 counterpart of grn.InferPruned:
-// the O(n²) pair estimates of query-graph inference fan out across the
-// worker pool, one work unit per informative gene pair, each drawing from
-// a (Seed, s, t)-addressed stream. The graph is assembled in pair order.
+// inferPrunedParallel is the Workers > 1 counterpart of grn.InferPruned.
+// With the batch kernel enabled the work unit is a target column (see
+// inferPrunedParallelBatch); otherwise the O(n²) pair estimates fan out one
+// work unit per informative gene pair, each drawing from a (Seed, s, t)-
+// addressed stream. The graph is assembled in deterministic order either
+// way.
 func (p *Processor) inferPrunedParallel(ec *exec.Context, mq *gene.Matrix) (*grn.Graph, error) {
+	if !p.params.DisableBatchInference {
+		return p.inferPrunedParallelBatch(ec, mq)
+	}
 	n := mq.NumGenes()
 	type pair struct{ s, t int }
 	pairs := make([]pair, 0, n*(n-1)/2)
@@ -109,5 +119,91 @@ func (p *Processor) inferPrunedParallel(ec *exec.Context, mq *gene.Matrix) (*grn
 			g.SetEdge(pe.s, pe.t, scores[i])
 		}
 	}
+	return g, nil
+}
+
+// inferPrunedParallelBatch fans query-graph inference out one work unit per
+// TARGET COLUMN: each unit bounds and scores all informative partners s < t
+// against shared permutation batches of column t (the batched inference
+// kernel), drawing from a (Seed, t)-addressed stream so the schedule cannot
+// influence the answer. Columns are assembled in index order; the summed
+// kernel time is recorded as StageInferKernel (aggregate CPU time across
+// workers, like the refinement sub-stages).
+func (p *Processor) inferPrunedParallelBatch(ec *exec.Context, mq *gene.Matrix) (*grn.Graph, error) {
+	n := mq.NumGenes()
+	type colUnit struct {
+		t    int
+		srcs []int
+	}
+	units := make([]colUnit, 0, n)
+	for t := 1; t < n; t++ {
+		if !mq.Informative(t) {
+			continue
+		}
+		var srcs []int
+		for s := 0; s < t; s++ {
+			if mq.Informative(s) {
+				srcs = append(srcs, s)
+			}
+		}
+		if len(srcs) > 0 {
+			units = append(units, colUnit{t: t, srcs: srcs})
+		}
+	}
+	begin := time.Now()
+	type colResult struct {
+		probs     []float64 // per srcs index; NaN marks a Lemma-3-pruned pair
+		kernel    time.Duration
+		estimated int
+	}
+	results := make([]colResult, len(units))
+	err := ec.ForEach(len(units), func(i int) error {
+		u := units[i]
+		sc, pr := p.scorerFor(uint64(int64(u.t)))
+		kStart := time.Now()
+		vals := make([]float64, len(u.srcs))
+		pr.UpperBoundColumn(mq, u.t, u.srcs, vals)
+		survivors := make([]int, 0, len(u.srcs))
+		keep := make([]bool, len(u.srcs))
+		for j, ub := range vals {
+			if ub > p.params.Gamma {
+				survivors = append(survivors, u.srcs[j])
+				keep[j] = true
+			}
+		}
+		out := make([]float64, len(u.srcs))
+		for j := range out {
+			out[j] = math.NaN()
+		}
+		if len(survivors) > 0 {
+			sc.ScoreColumn(mq, u.t, survivors, vals)
+			k := 0
+			for j := range u.srcs {
+				if keep[j] {
+					out[j] = vals[k]
+					k++
+				}
+			}
+		}
+		results[i] = colResult{probs: out, kernel: time.Since(kStart), estimated: len(survivors)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := grn.NewGraph(mq.Genes())
+	var kTotal time.Duration
+	pairs, estimated := 0, 0
+	for i, u := range units {
+		kTotal += results[i].kernel
+		pairs += len(u.srcs)
+		estimated += results[i].estimated
+		for j, s := range u.srcs {
+			if pe := results[i].probs[j]; pe > p.params.Gamma {
+				g.SetEdge(s, u.t, pe)
+			}
+		}
+	}
+	ec.Tracer().Record(obs.StageInferKernel, begin, kTotal, pairs, estimated)
 	return g, nil
 }

@@ -68,6 +68,16 @@ type Params struct {
 	DisablePivotPruning bool // skip leaf-level PPR point-pair pruning
 	DisableSignatures   bool // skip bit-vector gene/source node filters
 	DisableGeneRange    bool // skip gene-ID MBR range tests on node pairs
+
+	// DisableBatchInference turns off the batched Monte Carlo inference
+	// kernel for query-graph inference, falling back to the per-pair scalar
+	// estimators (the reference implementation). The batch kernel is on by
+	// default; it consumes the scorer RNG per target column rather than per
+	// pair, so fixed-seed query graphs differ between the two settings
+	// (both deterministic, statistically equivalent). Flip this on to
+	// reproduce pre-kernel golden outputs or to bisect a suspected kernel
+	// discrepancy against the scalar reference.
+	DisableBatchInference bool
 }
 
 // Validate reports whether the thresholds are in range.

@@ -42,6 +42,7 @@ func NewProcessor(idx *index.Index, params Params) (*Processor, error) {
 	}
 	sc := grn.NewRandomizedScorer(params.Seed^seedScorer, params.Samples)
 	sc.OneSided = params.OneSided
+	sc.Batch = !params.DisableBatchInference
 	pr := grn.NewPruner(params.Seed^seedPruner, params.BoundSamples)
 	pr.OneSided = params.OneSided
 	return &Processor{
@@ -115,7 +116,11 @@ func (p *Processor) inferQueryGraph(ec *exec.Context, mq *gene.Matrix) (*grn.Gra
 	if ec.Parallel() {
 		return p.inferPrunedParallel(ec, mq)
 	}
-	g, _, err := grn.InferPruned(mq, p.scorer, p.pruner, p.params.Gamma)
+	begin := time.Now()
+	g, st, err := grn.InferPruned(mq, p.scorer, p.pruner, p.params.Gamma)
+	if err == nil && st.Kernel > 0 {
+		ec.Tracer().Record(obs.StageInferKernel, begin, st.Kernel, st.Pairs, st.Estimated)
+	}
 	return g, err
 }
 

@@ -1,0 +1,145 @@
+package grn
+
+import (
+	"time"
+
+	"github.com/imgrn/imgrn/internal/gene"
+)
+
+// This file is the grn-level face of the batched Monte Carlo inference
+// kernel (DESIGN.md §9). The scalar path scores each candidate pair (s, t)
+// independently — R fresh permutations of Xt and R distance passes per
+// pair. The batch path fixes the target column t, draws its R permutations
+// once into a stats.PermBatch, and scores every partner s < t against that
+// shared batch with blocked dot-product kernels, turning the O(n²·R·l) hot
+// loop into n shared batch fills plus blocked mat-mat inner products.
+//
+// RNG-consumption order: the scalar path draws R permutations per PAIR in
+// (s, t) lexicographic order; the batch path draws R permutations per
+// COLUMN t (and, under pruning, only scores the survivors). Fixed-seed
+// outputs therefore differ between the paths while both remain
+// deterministic and statistically equivalent estimates of the same
+// probabilities.
+
+// ScoreColumn scores every source column in srcs against target column t
+// using one shared permutation batch, writing dst[i] for srcs[i]. All
+// indices, t included, must be informative columns of m. dst must have
+// length ≥ len(srcs). Equivalent in distribution to calling Score for each
+// pair, at a fraction of the permutation and arithmetic cost.
+func (s *RandomizedScorer) ScoreColumn(m *gene.Matrix, t int, srcs []int, dst []float64) {
+	s.batch.Fill(s.Est, m.StdCol(t), s.Samples)
+	s.cols = gatherStdCols(s.cols, m, srcs)
+	s.batch.EdgeProbabilitiesInto(dst, s.cols, s.OneSided)
+}
+
+// UpperBoundColumn computes the Lemma-4 pruning upper bound of every source
+// column in srcs against target column t, writing dst[i] for srcs[i]. The
+// E(Z) estimates reuse one shared batch of BoundSamples permutations of
+// column t instead of BoundSamples fresh permutations per pair, making the
+// bound a near-free byproduct of the batch's inner products. All indices
+// must be informative columns of m; dst must have length ≥ len(srcs).
+func (p *Pruner) UpperBoundColumn(m *gene.Matrix, t int, srcs []int, dst []float64) {
+	p.batch.Fill(p.Est, m.StdCol(t), p.BoundSamples)
+	p.cols = gatherStdCols(p.cols, m, srcs)
+	p.batch.MarkovUpperBoundsInto(dst, p.cols, p.OneSided)
+}
+
+// gatherStdCols fills buf with the standardized columns idx of m, growing
+// it as needed.
+func gatherStdCols(buf [][]float64, m *gene.Matrix, idx []int) [][]float64 {
+	if cap(buf) < len(idx) {
+		buf = make([][]float64, len(idx))
+	}
+	buf = buf[:len(idx)]
+	for i, j := range idx {
+		buf[i] = m.StdCol(j)
+	}
+	return buf
+}
+
+// forEachColumnBatch drives the unpruned batch inference loop shared by
+// Infer and PairScores: for every informative target column t it scores all
+// informative sources s < t in one ScoreColumn call and hands the column's
+// results to visit. The srcs and probs slices are reused across columns.
+func forEachColumnBatch(m *gene.Matrix, sc *RandomizedScorer, visit func(t int, srcs []int, probs []float64)) {
+	n := m.NumGenes()
+	srcs := make([]int, 0, n)
+	probs := make([]float64, 0, n)
+	for t := 1; t < n; t++ {
+		if !m.Informative(t) {
+			continue
+		}
+		srcs = srcs[:0]
+		for s := 0; s < t; s++ {
+			if m.Informative(s) {
+				srcs = append(srcs, s)
+			}
+		}
+		if len(srcs) == 0 {
+			continue
+		}
+		probs = probs[:len(srcs)]
+		sc.ScoreColumn(m, t, srcs, probs)
+		visit(t, srcs, probs)
+	}
+}
+
+// inferPrunedBatch is InferPruned's batched implementation: per target
+// column it bounds all candidate partners against a shared BoundSamples
+// batch (Lemma 3 pruning), then scores only the survivors against a shared
+// Samples batch. The scorer batch is filled lazily — a fully pruned column
+// consumes no scorer RNG, mirroring the scalar path where pruned pairs are
+// never scored.
+func inferPrunedBatch(m *gene.Matrix, sc *RandomizedScorer, pr *Pruner, gamma float64) (*Graph, InferStats, error) {
+	var st InferStats
+	g := NewGraph(m.Genes())
+	n := m.NumGenes()
+	srcs := make([]int, 0, n)
+	survivors := make([]int, 0, n)
+	vals := make([]float64, n)
+	for t := 1; t < n; t++ {
+		if !m.Informative(t) {
+			continue
+		}
+		srcs = srcs[:0]
+		for s := 0; s < t; s++ {
+			if m.Informative(s) {
+				srcs = append(srcs, s)
+			}
+		}
+		if len(srcs) == 0 {
+			continue
+		}
+		st.Pairs += len(srcs)
+		survivors = survivors[:0]
+		if pr != nil {
+			st.BoundCalls += pr.BoundSamples
+			begin := time.Now()
+			pr.UpperBoundColumn(m, t, srcs, vals)
+			st.Kernel += time.Since(begin)
+			for i, s := range srcs {
+				if vals[i] <= gamma {
+					st.Pruned++
+				} else {
+					survivors = append(survivors, s)
+				}
+			}
+		} else {
+			survivors = append(survivors, srcs...)
+		}
+		if len(survivors) == 0 {
+			continue
+		}
+		st.Estimated += len(survivors)
+		begin := time.Now()
+		sc.ScoreColumn(m, t, survivors, vals)
+		st.Kernel += time.Since(begin)
+		for i, s := range survivors {
+			if vals[i] > gamma {
+				g.SetEdge(s, t, vals[i])
+				st.Edges++
+			}
+		}
+	}
+	return g, st, nil
+}

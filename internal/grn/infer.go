@@ -2,6 +2,7 @@ package grn
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/stats"
@@ -17,6 +18,16 @@ func Infer(m *gene.Matrix, sc Scorer, gamma float64) (*Graph, error) {
 		return nil, fmt.Errorf("grn: preparing %s scorer: %w", sc.Name(), err)
 	}
 	g := NewGraph(m.Genes())
+	if rs, ok := sc.(*RandomizedScorer); ok && rs.Batch {
+		forEachColumnBatch(m, rs, func(t int, srcs []int, probs []float64) {
+			for i, s := range srcs {
+				if probs[i] > gamma {
+					g.SetEdge(s, t, probs[i])
+				}
+			}
+		})
+		return g, nil
+	}
 	n := m.NumGenes()
 	for s := 0; s < n; s++ {
 		for t := s + 1; t < n; t++ {
@@ -37,6 +48,15 @@ func PairScores(m *gene.Matrix, sc Scorer) (*vecmath.Matrix, error) {
 	}
 	n := m.NumGenes()
 	out := vecmath.NewMatrix(n, n)
+	if rs, ok := sc.(*RandomizedScorer); ok && rs.Batch {
+		forEachColumnBatch(m, rs, func(t int, srcs []int, probs []float64) {
+			for i, s := range srcs {
+				out.Set(s, t, probs[i])
+				out.Set(t, s, probs[i])
+			}
+		})
+		return out, nil
+	}
 	for s := 0; s < n; s++ {
 		for t := s + 1; t < n; t++ {
 			p := sc.Score(m, s, t)
@@ -59,6 +79,9 @@ type Pruner struct {
 	// OneSided matches the scorer's sidedness: the two-sided bound divides
 	// E(Z) by the |cor|-equivalent distance min(d, sqrt(4 − d²)).
 	OneSided bool
+
+	batch stats.PermBatch // UpperBoundColumn shared-permutation scratch
+	cols  [][]float64     // UpperBoundColumn source-column scratch
 }
 
 // NewPruner returns a Pruner with the given seed and bound sample count
@@ -84,11 +107,20 @@ func (p *Pruner) UpperBound(xs, xt []float64) float64 {
 
 // InferStats reports how much work edge pruning saved during inference.
 type InferStats struct {
-	Pairs      int // total candidate pairs n·(n−1)/2
-	Pruned     int // pairs eliminated by Lemma 3 before exact estimation
-	Estimated  int // pairs that required the full Monte Carlo estimate
-	Edges      int // edges in the resulting graph
-	BoundCalls int // Monte Carlo samples spent on bounds (diagnostic)
+	Pairs     int // total candidate pairs n·(n−1)/2
+	Pruned    int // pairs eliminated by Lemma 3 before exact estimation
+	Estimated int // pairs that required the full Monte Carlo estimate
+	Edges     int // edges in the resulting graph
+	// BoundCalls counts Monte Carlo samples spent on bounds (diagnostic).
+	// On the scalar path this is BoundSamples per non-pruned-out pair; on
+	// the batch path the permutations are shared across a whole target
+	// column, so it is BoundSamples per column with ≥1 candidate pair.
+	BoundCalls int
+	// Kernel is the time spent inside the batched inference kernel (batch
+	// fills, blocked inner products, bound/score reductions); zero on the
+	// scalar path. Exposed so the query tracer can split kernel time from
+	// the rest of inference.
+	Kernel time.Duration
 }
 
 // InferPruned reconstructs the GRN of m with the IM-GRN randomized measure,
@@ -97,6 +129,9 @@ type InferStats struct {
 // expensive estimate is skipped. This is the query-graph inference step of
 // the IM-GRN_Processing algorithm (Fig. 4, line 1).
 func InferPruned(m *gene.Matrix, sc *RandomizedScorer, pr *Pruner, gamma float64) (*Graph, InferStats, error) {
+	if sc.Batch {
+		return inferPrunedBatch(m, sc, pr, gamma)
+	}
 	var st InferStats
 	g := NewGraph(m.Genes())
 	n := m.NumGenes()

@@ -41,11 +41,24 @@ type RandomizedScorer struct {
 	Est      *stats.Estimator
 	Samples  int  // Monte Carlo samples per pair; DefaultSamples if <= 0
 	OneSided bool // use the signed Eq.-(4) form
+
+	// Batch enables the batched inference kernel (DESIGN.md §9): the bulk
+	// entry points (Infer, InferPruned, PairScores) share one permutation
+	// batch per target column and score all its partners with blocked
+	// dot-product kernels. Per-pair Score calls are unaffected. The batch
+	// path consumes the estimator RNG in a different order than the scalar
+	// path, so fixed-seed results differ between the two (both are
+	// individually deterministic and statistically equivalent).
+	Batch bool
+
+	batch stats.PermBatch // ScoreColumn shared-permutation scratch
+	cols  [][]float64     // ScoreColumn source-column scratch
 }
 
-// NewRandomizedScorer returns the canonical IM-GRN scorer.
+// NewRandomizedScorer returns the canonical IM-GRN scorer with the batched
+// inference kernel enabled.
 func NewRandomizedScorer(seed uint64, samples int) *RandomizedScorer {
-	return &RandomizedScorer{Est: stats.NewEstimator(seed), Samples: samples}
+	return &RandomizedScorer{Est: stats.NewEstimator(seed), Samples: samples, Batch: true}
 }
 
 // Name implements Scorer.

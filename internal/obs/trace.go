@@ -36,6 +36,12 @@ const (
 	StageMonteCarlo
 	// StageTopK is ranking and truncation of the answer set.
 	StageTopK
+	// StageInferKernel is the portion of StageInfer spent inside the
+	// batched Monte Carlo inference kernel (shared permutation batches plus
+	// blocked inner products; DESIGN.md §9). It nests within StageInfer —
+	// its duration is a subset, not an addition — and is absent when the
+	// kernel is disabled or the analytic estimator is in use.
+	StageInferKernel
 
 	numStages
 )
@@ -44,6 +50,7 @@ const (
 // "stage" label on metrics and in JSON trace summaries.
 var stageNames = [numStages]string{
 	"infer", "traverse", "filter", "markov_prune", "monte_carlo", "topk",
+	"infer_kernel",
 }
 
 // String returns the stage's metric/wire name.

@@ -1,0 +1,201 @@
+// Batched Monte Carlo inference kernel (DESIGN.md §9).
+//
+// The scalar estimators above pay, per candidate pair (s, t), R fresh
+// Fisher–Yates permutations of Xt plus R O(l) squared-distance passes. The
+// batched kernel restructures that work around a fixed target column:
+//
+//  1. Shared permutation batches: the R permutations of Xt are drawn once
+//     and materialized into an R×l row-major scratch matrix, amortizing
+//     permutation generation across every source paired with Xt.
+//  2. Dot-product hit tests: permutations preserve the norm, so
+//     dist²(Xs, Xt^π) = |Xs|² + |Xt|² − 2·⟨Xs, Xt^π⟩ with constant norms,
+//     and each hit test reduces to comparing an inner product against a
+//     per-pair precomputed threshold — half the arithmetic of a distance
+//     pass.
+//  3. Blocked kernels: the R inner products of a block of source columns
+//     are computed by vecmath.MatMulRowsInto, which streams the
+//     permutation matrix once per four sources.
+//
+// Determinism contract: the batch path consumes the estimator RNG in a
+// different order than the scalar path (R permutations per target column,
+// not R per pair), so the two paths give different — but individually
+// deterministic and statistically equivalent — fixed-seed estimates. The
+// scalar path remains the reference implementation.
+
+package stats
+
+import (
+	"math"
+
+	"github.com/imgrn/imgrn/internal/vecmath"
+)
+
+// PermBatch is a shared batch of random permutations of one target vector
+// Xt, materialized as an R×l row-major matrix. Fill it from an Estimator,
+// then score any number of source vectors against it. A PermBatch owns
+// reusable scratch and may be refilled for successive target columns; it
+// is not safe for concurrent use.
+type PermBatch struct {
+	xt      []float64 // target vector (retained, not copied)
+	tNorm2  float64   // |Xt|²
+	l       int
+	samples int
+	mat     []float64 // samples×l: row r = Xt^{π_r}
+	dots    []float64 // blocked inner-product scratch
+}
+
+// batchSrcBlock bounds how many source columns one kernel invocation
+// scores at a time, keeping the inner-product scratch (batchSrcBlock ×
+// samples floats) cache-sized regardless of how many sources the caller
+// passes.
+const batchSrcBlock = 32
+
+// Fill draws samples fresh uniform permutations of xt from e's stream and
+// materializes them into the batch, replacing any previous contents. The
+// RNG cost equals samples scalar PermuteInto calls; every source scored
+// against the batch shares it. samples <= 0 selects DefaultSamples.
+func (b *PermBatch) Fill(e *Estimator, xt []float64, samples int) {
+	if samples <= 0 {
+		samples = DefaultSamples
+	}
+	l := len(xt)
+	b.xt = xt
+	b.tNorm2 = vecmath.Dot(xt, xt)
+	b.l = l
+	b.samples = samples
+	b.mat = growSlice(b.mat, samples*l)
+	for r := 0; r < samples; r++ {
+		e.rng.PermuteInto(b.mat[r*l:(r+1)*l], xt)
+	}
+}
+
+// growSlice is grow for slices owned by value types (no pointer needed).
+func growSlice(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// Samples returns the number of permutations in the batch.
+func (b *PermBatch) Samples() int { return b.samples }
+
+// Len returns the vector length l of the batch (0 before the first Fill).
+func (b *PermBatch) Len() int { return b.l }
+
+// Row returns permutation r as a slice aliasing the batch storage.
+// Intended for tests validating the dot-product hit tests against the
+// scalar distance comparisons on the very same permutations.
+func (b *PermBatch) Row(r int) []float64 { return b.mat[r*b.l : (r+1)*b.l] }
+
+// EdgeProbabilitiesInto estimates the edge existence probability of every
+// source column in srcs against the batch's target, writing dst[i] for
+// srcs[i]. oneSided selects the Eq.-(4) form Pr{dist_R > dist}; otherwise
+// the two-sided |cor| form of Definition 2 is used. All sources must have
+// the batch's vector length. dst must have length ≥ len(srcs).
+//
+// The hit tests are the dot-product reduction: with c = ⟨Xs, Xt⟩ and
+// m = (|Xs|² + |Xt|² − 2)/2,
+//
+//	one-sided:  dist²(Xs, Xt^π) > dist²(Xs, Xt)  ⟺  ⟨Xs, Xt^π⟩ < c
+//	two-sided:  |dist²(Xs, Xt^π) − 2| < |dist²(Xs, Xt) − 2|
+//	            ⟺  |m − ⟨Xs, Xt^π⟩| < |m − c|.
+func (b *PermBatch) EdgeProbabilitiesInto(dst []float64, srcs [][]float64, oneSided bool) {
+	if len(dst) < len(srcs) {
+		panic("stats: EdgeProbabilitiesInto dst too short")
+	}
+	inv := 1 / float64(b.samples)
+	for lo := 0; lo < len(srcs); lo += batchSrcBlock {
+		hi := lo + batchSrcBlock
+		if hi > len(srcs) {
+			hi = len(srcs)
+		}
+		block := srcs[lo:hi]
+		b.dots = growSlice(b.dots, len(block)*b.samples)
+		vecmath.MatMulRowsInto(b.dots, b.mat, b.samples, b.l, block)
+		for i, xs := range block {
+			c := vecmath.Dot(xs, b.xt)
+			dots := b.dots[i*b.samples : (i+1)*b.samples]
+			hits := 0
+			if oneSided {
+				for _, d := range dots {
+					if d < c {
+						hits++
+					}
+				}
+			} else {
+				m := (vecmath.Dot(xs, xs) + b.tNorm2 - 2) / 2
+				ch := abs(m - c)
+				for _, d := range dots {
+					if abs(m-d) < ch {
+						hits++
+					}
+				}
+			}
+			dst[lo+i] = float64(hits) * inv
+		}
+	}
+}
+
+// MarkovUpperBoundsInto computes the Lemma-4 pruning upper bound
+// ub_P = E(Z)/dist for every source column against the batch's target,
+// with E(Z) = E[dist(Xs, Xt^R)] estimated over the batch's shared
+// permutations — a near-free byproduct of the inner products already
+// needed by the hit tests, instead of BoundSamples fresh permutations per
+// pair. oneSided=false divides by the |cor|-equivalent two-sided distance.
+func (b *PermBatch) MarkovUpperBoundsInto(dst []float64, srcs [][]float64, oneSided bool) {
+	if len(dst) < len(srcs) {
+		panic("stats: MarkovUpperBoundsInto dst too short")
+	}
+	inv := 1 / float64(b.samples)
+	for lo := 0; lo < len(srcs); lo += batchSrcBlock {
+		hi := lo + batchSrcBlock
+		if hi > len(srcs) {
+			hi = len(srcs)
+		}
+		block := srcs[lo:hi]
+		b.dots = growSlice(b.dots, len(block)*b.samples)
+		vecmath.MatMulRowsInto(b.dots, b.mat, b.samples, b.l, block)
+		for i, xs := range block {
+			nrm := vecmath.Dot(xs, xs) + b.tNorm2
+			var ez float64
+			for _, d := range b.dots[i*b.samples : (i+1)*b.samples] {
+				d2 := nrm - 2*d
+				if d2 > 0 {
+					ez += math.Sqrt(d2)
+				}
+			}
+			ez *= inv
+			d2 := nrm - 2*vecmath.Dot(xs, b.xt)
+			if d2 < 0 {
+				d2 = 0
+			}
+			dist := math.Sqrt(d2)
+			if !oneSided {
+				dist = TwoSidedDistance(dist)
+			}
+			dst[lo+i] = MarkovUpperBound(ez, dist)
+		}
+	}
+}
+
+// EdgeProbabilityBatch estimates the one-sided edge existence probability
+// of every source in srcs against a shared permutation batch of xt drawn
+// from e's stream (see PermBatch). dst must have length ≥ len(srcs).
+// Convenience wrapper over an estimator-owned batch; callers scoring many
+// target columns should manage their own PermBatch to reuse its scratch.
+func (e *Estimator) EdgeProbabilityBatch(dst []float64, srcs [][]float64, xt []float64, samples int) {
+	b := PermBatch{mat: e.ar.batchMat, dots: e.ar.batchDots}
+	b.Fill(e, xt, samples)
+	b.EdgeProbabilitiesInto(dst, srcs, true)
+	e.ar.batchMat, e.ar.batchDots = b.mat, b.dots
+}
+
+// AbsEdgeProbabilityBatch is EdgeProbabilityBatch for the two-sided
+// (absolute-correlation) form of Definition 2.
+func (e *Estimator) AbsEdgeProbabilityBatch(dst []float64, srcs [][]float64, xt []float64, samples int) {
+	b := PermBatch{mat: e.ar.batchMat, dots: e.ar.batchDots}
+	b.Fill(e, xt, samples)
+	b.EdgeProbabilitiesInto(dst, srcs, false)
+	e.ar.batchMat, e.ar.batchDots = b.mat, b.dots
+}

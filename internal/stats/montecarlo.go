@@ -35,8 +35,30 @@ const DefaultSamples = 192
 // generator and reusable scratch space. It is not safe for concurrent use;
 // derive one per goroutine with Split.
 type Estimator struct {
-	rng     *randgen.Rand
-	scratch []float64
+	rng *randgen.Rand
+	ar  arena
+}
+
+// arena is the estimator's reusable scratch space, one slot per call
+// site. Each estimation entry point owns a distinct slice so that
+// interleaved calls on the same Estimator can never alias each other's
+// in-flight data (EdgeProbability and ExpectedPermDistance formerly
+// shared a single slice, so a caller holding one routine's permutation
+// buffer across a call to the other would see it silently clobbered).
+type arena struct {
+	edgePerm  []float64 // EdgeProbability / AbsEdgeProbability permutations
+	distPerm  []float64 // ExpectedPermDistance permutations
+	batchMat  []float64 // EdgeProbabilityBatch permutation matrix
+	batchDots []float64 // EdgeProbabilityBatch inner products
+}
+
+// grow returns (*buf)[:n], reallocating the backing array only when the
+// capacity is insufficient. Contents are unspecified.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	return (*buf)[:n]
 }
 
 // NewEstimator returns an Estimator seeded deterministically.
@@ -47,13 +69,6 @@ func NewEstimator(seed uint64) *Estimator {
 // Split derives an independent estimator for use on another goroutine.
 func (e *Estimator) Split() *Estimator {
 	return &Estimator{rng: e.rng.Split()}
-}
-
-func (e *Estimator) buf(n int) []float64 {
-	if cap(e.scratch) < n {
-		e.scratch = make([]float64, n)
-	}
-	return e.scratch[:n]
 }
 
 // EdgeProbability estimates the edge existence probability of Eq. (1),
@@ -69,7 +84,7 @@ func (e *Estimator) EdgeProbability(xs, xt []float64, samples int) float64 {
 		samples = DefaultSamples
 	}
 	d := vecmath.SquaredEuclidean(xs, xt)
-	perm := e.buf(len(xt))
+	perm := grow(&e.ar.edgePerm, len(xt))
 	hits := 0
 	for i := 0; i < samples; i++ {
 		e.rng.PermuteInto(perm, xt)
@@ -96,7 +111,7 @@ func (e *Estimator) AbsEdgeProbability(xs, xt []float64, samples int) float64 {
 		samples = DefaultSamples
 	}
 	c := abs(vecmath.SquaredEuclidean(xs, xt) - 2)
-	perm := e.buf(len(xt))
+	perm := grow(&e.ar.edgePerm, len(xt))
 	hits := 0
 	for i := 0; i < samples; i++ {
 		e.rng.PermuteInto(perm, xt)
@@ -125,7 +140,7 @@ func (e *Estimator) ExpectedPermDistance(fixed, permuted []float64, samples int)
 	if samples <= 0 {
 		samples = DefaultSamples
 	}
-	perm := e.buf(len(permuted))
+	perm := grow(&e.ar.distPerm, len(permuted))
 	var sum float64
 	for i := 0; i < samples; i++ {
 		e.rng.PermuteInto(perm, permuted)
