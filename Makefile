@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-figures bench-json bench-smoke experiments experiments-full fmt fmt-check vet metrics-smoke clean
+.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke experiments experiments-full fmt fmt-check vet metrics-smoke clean
 
 all: build test
 
@@ -40,6 +40,18 @@ bench-json:
 # kernel is not slower than the scalar path it replaces.
 bench-smoke:
 	BENCH_SMOKE=1 $(GO) test -run TestBatchNotSlowerThanScalar -v .
+
+# Sharded scatter-gather sweep (P = 1, 2, 4, 8 over the Fig. 5 large-N
+# workload) -> BENCH_shard.json (ns/op, pages/query, P-vs-1 speedups).
+bench-shard:
+	$(GO) test -run xxx -bench 'BenchmarkShardQuery' -benchmem . \
+	| $(GO) run ./cmd/imgrn-benchjson > BENCH_shard.json
+	@cat BENCH_shard.json
+
+# CI gate: a P=4 scatter-gather query must not be slower than the P=1
+# engine on the large-N workload.
+bench-shard-smoke:
+	BENCH_SHARD=1 $(GO) test -run TestShardScalingGate -v .
 
 # The paper's evaluation at CI scale / Table-2 scale.
 experiments:

@@ -42,6 +42,7 @@ import (
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/index"
 	"github.com/imgrn/imgrn/internal/server"
+	"github.com/imgrn/imgrn/internal/shard"
 )
 
 func main() {
@@ -57,6 +58,7 @@ func main() {
 		drainTimeout  = flag.Duration("shutdown-timeout", 10*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
 		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowQuery     = flag.Duration("slow-query", 0, "log queries slower than this with their stage breakdown (0 disables)")
+		shards        = flag.Int("shards", 1, "partition the database across this many index shards and query them scatter-gather (1 = unsharded; incompatible with -index)")
 	)
 	flag.Parse()
 	if *dbPath == "" {
@@ -69,6 +71,28 @@ func main() {
 	sum := db.Summary()
 	fmt.Printf("database: %d matrices, %d vectors, %d distinct genes\n",
 		sum.Matrices, sum.TotalVectors, sum.DistinctGenes)
+
+	if *shards > 1 {
+		// Sharded serving: partition round-robin, build one index per
+		// shard, and run queries scatter-gather. Saved indexes are
+		// single-shard only, so -index is rejected here.
+		if *idxPath != "" {
+			fatal(fmt.Errorf("-shards and -index are mutually exclusive; sharded indexes rebuild at startup"))
+		}
+		coord, err := shard.Build(db, shard.Options{
+			NumShards: *shards,
+			Index:     index.Options{D: *d, Seed: *seed, BufferPages: 1024},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bs := coord.IndexStats()
+		fmt.Printf("index: built %d shards, %d vectors, %d nodes in %v\n",
+			coord.NumShards(), bs.Vectors, bs.TreeNodes, bs.Elapsed)
+		serve(server.NewSharded(coord, nil), *addr, *queryTimeout, *maxConcurrent,
+			*workers, *pprofOn, *slowQuery, *drainTimeout)
+		return
+	}
 
 	var idx *index.Index
 	if *idxPath != "" {
@@ -94,29 +118,35 @@ func main() {
 		}
 	}
 
-	h := server.New(idx, nil)
-	h.QueryTimeout = *queryTimeout
-	h.MaxConcurrent = *maxConcurrent
-	h.Workers = *workers
-	h.EnablePprof = *pprofOn
-	h.SlowQueryThreshold = *slowQuery
-	if *pprofOn {
+	serve(server.New(idx, nil), *addr, *queryTimeout, *maxConcurrent,
+		*workers, *pprofOn, *slowQuery, *drainTimeout)
+}
+
+// serve configures the HTTP server and runs it until SIGINT/SIGTERM,
+// then drains in-flight requests.
+func serve(h *server.Server, addr string, queryTimeout time.Duration, maxConcurrent,
+	workers int, pprofOn bool, slowQuery, drainTimeout time.Duration) {
+	h.QueryTimeout = queryTimeout
+	h.MaxConcurrent = maxConcurrent
+	h.Workers = workers
+	h.EnablePprof = pprofOn
+	h.SlowQueryThreshold = slowQuery
+	if pprofOn {
 		fmt.Println("pprof: enabled at /debug/pprof/")
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
+		Addr:              addr,
 		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Printf("listening on %s\n", *addr)
+		fmt.Printf("listening on %s\n", addr)
 		errCh <- srv.ListenAndServe()
 	}()
 
@@ -128,7 +158,7 @@ func main() {
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second signal kills immediately
 		fmt.Println("shutting down: draining in-flight requests")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "imgrn-server: forced shutdown:", err)

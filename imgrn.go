@@ -14,6 +14,7 @@ import (
 	"github.com/imgrn/imgrn/internal/index"
 	"github.com/imgrn/imgrn/internal/obs"
 	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/shard"
 	"github.com/imgrn/imgrn/internal/subiso"
 	"github.com/imgrn/imgrn/internal/vecmath"
 )
@@ -109,14 +110,26 @@ var (
 // in-flight queries first. Exact edge-probability estimates are memoized
 // across queries with identical estimator settings in a lock-striped
 // cache shared by concurrent queries.
+//
+// An engine opened with OpenSharded partitions the database across
+// NumShards independent index shards and runs every query scatter-gather
+// (see internal/shard and DESIGN.md §10): mutations then lock only the one
+// shard their source is placed on, and per-shard counters are available
+// via ShardStats. The query API is identical either way.
 type Engine struct {
 	// mu is the index lock: queries hold it for reading, mutations and
-	// serialization for writing.
+	// serialization for writing. Unused when coord is set (the coordinator
+	// locks per shard).
 	mu  sync.RWMutex
 	idx *index.Index
 
+	// coord, when non-nil, replaces idx: the engine delegates every
+	// operation to the sharded coordinator.
+	coord *shard.Coordinator
+
 	// cacheMu guards the caches map alone; the caches themselves are
-	// internally synchronized.
+	// internally synchronized. Sharded engines keep caches per shard
+	// inside the coordinator instead.
 	cacheMu sync.Mutex
 	caches  map[estimatorSig]*core.EdgeProbCache
 }
@@ -152,11 +165,17 @@ func (e *Engine) cacheFor(params QueryParams) *core.EdgeProbCache {
 	return c
 }
 
-// invalidateCaches drops all memoized probabilities; called when the
-// underlying data changes.
-func (e *Engine) invalidateCaches() {
+// invalidateCachesFor drops the memoized probabilities of one data source
+// from every per-estimator cache; called when that source's data changes.
+// Edge probabilities are keyed by (source, gene, gene), so a mutation can
+// only stale its own source's entries — all other sources' memoized
+// values, and the caches' lifetime hit counters, stay warm across
+// mutations.
+func (e *Engine) invalidateCachesFor(source int) {
 	e.cacheMu.Lock()
-	e.caches = nil
+	for _, c := range e.caches {
+		c.InvalidateSource(source)
+	}
 	e.cacheMu.Unlock()
 }
 
@@ -171,6 +190,43 @@ func Open(db *Database, opts IndexOptions) (*Engine, error) {
 	return &Engine{idx: idx}, nil
 }
 
+// OpenSharded builds an engine whose database is partitioned round-robin
+// across numShards independent index shards, each with its own R*-tree,
+// page accountant and probability caches; queries run scatter-gather over
+// the shards and mutations lock only the shard their source is placed on.
+// numShards <= 1 builds a single-shard coordinator, which answers
+// byte-identically to Open at any fixed seed; numShards > 1 answers are
+// set-equal under the analytic estimator and statistically equivalent
+// under Monte Carlo (shards draw (Seed, shard)-derived sample streams).
+func OpenSharded(db *Database, opts IndexOptions, numShards int) (*Engine, error) {
+	coord, err := shard.Build(db, shard.Options{NumShards: numShards, Index: opts})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{coord: coord}, nil
+}
+
+// NumShards reports the engine's shard count (1 for an unsharded engine).
+func (e *Engine) NumShards() int {
+	if e.coord != nil {
+		return e.coord.NumShards()
+	}
+	return 1
+}
+
+// ShardInfo is one shard's observability snapshot: partition size,
+// operation counts, and lifetime I/O and cache counters.
+type ShardInfo = shard.ShardInfo
+
+// ShardStats reports per-shard counters in shard order; nil for an
+// unsharded engine.
+func (e *Engine) ShardStats() []ShardInfo {
+	if e.coord == nil {
+		return nil
+	}
+	return e.coord.Snapshot()
+}
+
 // OpenSaved reconstructs an engine from an index previously written with
 // SaveIndex, skipping the expensive Monte Carlo embedding phase. db must be
 // the database the index was built over.
@@ -183,19 +239,37 @@ func OpenSaved(r io.Reader, db *Database) (*Engine, error) {
 }
 
 // SaveIndex serializes the engine's index so a later process can OpenSaved
-// it without re-embedding the database.
+// it without re-embedding the database. Sharded engines cannot be saved
+// yet: rebuild with OpenSharded at startup (per-shard indexes rebuild in
+// parallel).
 func (e *Engine) SaveIndex(w io.Writer) error {
+	if e.coord != nil {
+		return errShardedSave
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.idx.Save(w)
 }
 
+// errShardedSave rejects SaveIndex on sharded engines.
+var errShardedSave = errors.New("imgrn: sharded engine does not support SaveIndex")
+
 // Database returns the indexed database.
-func (e *Engine) Database() *Database { return e.idx.DB() }
+func (e *Engine) Database() *Database {
+	if e.coord != nil {
+		return e.coord.Database()
+	}
+	return e.idx.DB()
+}
 
 // IndexStats reports construction statistics (vectors, nodes, pages,
-// build time).
-func (e *Engine) IndexStats() index.BuildStats { return e.idx.Stats() }
+// build time); for a sharded engine they aggregate across shards.
+func (e *Engine) IndexStats() index.BuildStats {
+	if e.coord != nil {
+		return e.coord.IndexStats()
+	}
+	return e.idx.Stats()
+}
 
 // Query answers an IM-GRN query: it infers the query GRN from mq at
 // params.Gamma and returns every database matrix whose inferred GRN
@@ -213,6 +287,9 @@ func (e *Engine) Query(mq *Matrix, params QueryParams) ([]Answer, QueryStats, er
 func (e *Engine) QueryContext(ctx context.Context, mq *Matrix, params QueryParams) ([]Answer, QueryStats, error) {
 	if mq == nil {
 		return nil, QueryStats{}, errNilQuery
+	}
+	if e.coord != nil {
+		return e.coord.QueryContext(ctx, mq, params)
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -236,6 +313,9 @@ func (e *Engine) QueryGraphContext(ctx context.Context, q *Graph, params QueryPa
 	if q == nil {
 		return nil, QueryStats{}, errNilQuery
 	}
+	if e.coord != nil {
+		return e.coord.QueryGraphContext(ctx, q, params)
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	params.Cache = e.cacheFor(params)
@@ -250,23 +330,29 @@ func (e *Engine) QueryGraphContext(ctx context.Context, q *Graph, params QueryPa
 // immediately queryable, and the grown engine answers exactly like one
 // rebuilt from scratch over the enlarged database.
 func (e *Engine) AddMatrix(m *Matrix) error {
+	if e.coord != nil {
+		return e.coord.AddMatrix(m)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.idx.AddMatrix(m); err != nil {
 		return err
 	}
-	e.invalidateCaches()
+	e.invalidateCachesFor(m.Source)
 	return nil
 }
 
 // RemoveMatrix drops a data source from the engine and its database.
 func (e *Engine) RemoveMatrix(source int) error {
+	if e.coord != nil {
+		return e.coord.RemoveMatrix(source)
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.idx.RemoveMatrix(source); err != nil {
 		return err
 	}
-	e.invalidateCaches()
+	e.invalidateCachesFor(source)
 	return nil
 }
 
@@ -280,6 +366,14 @@ func (e *Engine) QueryTopK(mq *Matrix, params QueryParams, k int) ([]Answer, Que
 // QueryTopKContext is QueryTopK under an explicit context; see
 // QueryContext for the context and concurrency semantics.
 func (e *Engine) QueryTopKContext(ctx context.Context, mq *Matrix, params QueryParams, k int) ([]Answer, QueryStats, error) {
+	if mq == nil {
+		return nil, QueryStats{}, errNilQuery
+	}
+	if e.coord != nil {
+		// Sharded top-k streams per-shard answers into a bounded merge with
+		// cross-shard Markov-bound early termination (internal/shard).
+		return e.coord.QueryTopKContext(ctx, mq, params, k)
+	}
 	answers, stats, err := e.QueryContext(ctx, mq, params)
 	if err != nil {
 		return nil, stats, err
@@ -307,6 +401,9 @@ var errNilQuery = errors.New("imgrn: nil query")
 func (e *Engine) InferGraph(m *Matrix, params QueryParams) (*Graph, error) {
 	if m == nil {
 		return nil, errNilQuery
+	}
+	if e.coord != nil {
+		return e.coord.InferGraph(m, params)
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()

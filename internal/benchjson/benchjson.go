@@ -119,6 +119,16 @@ func deriveSpeedups(bs []Benchmark) map[string]float64 {
 			out["EdgeProbability_batch_vs_scalar"] = sp / bp
 		}
 	}
+	// Sharded scatter-gather sweep (`make bench-shard`): P-shard query
+	// time vs the single-shard engine.
+	if p1, ok := byName["BenchmarkShardQuery/P=1"]; ok {
+		for _, p := range []int{2, 4, 8} {
+			name := fmt.Sprintf("BenchmarkShardQuery/P=%d", p)
+			if pb, ok := byName[name]; ok && pb.NsOp > 0 {
+				out[fmt.Sprintf("ShardQuery_P%d_vs_P1", p)] = p1.NsOp / pb.NsOp
+			}
+		}
+	}
 	if len(out) == 0 {
 		return nil
 	}

@@ -46,6 +46,31 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseShardSweepSpeedups(t *testing.T) {
+	const shardSample = `BenchmarkShardQuery/P=1-8  1147  1000000 ns/op  97.39 pages/query
+BenchmarkShardQuery/P=2-8  1278   800000 ns/op  104.0 pages/query  1.250 speedup
+BenchmarkShardQuery/P=4-8  1219   500000 ns/op  117.4 pages/query  2.000 speedup
+PASS
+`
+	sum, err := Parse(strings.NewReader(shardSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Speedups["ShardQuery_P2_vs_P1"]; got != 1.25 {
+		t.Errorf("ShardQuery_P2_vs_P1 = %v, want 1.25", got)
+	}
+	if got := sum.Speedups["ShardQuery_P4_vs_P1"]; got != 2 {
+		t.Errorf("ShardQuery_P4_vs_P1 = %v, want 2", got)
+	}
+	// No P=8 line in the input: no derived entry.
+	if _, ok := sum.Speedups["ShardQuery_P8_vs_P1"]; ok {
+		t.Error("unexpected ShardQuery_P8_vs_P1 entry")
+	}
+	if sum.Benchmarks[0].Metrics["pages/query"] != 97.39 {
+		t.Errorf("pages/query metric parsed wrong: %+v", sum.Benchmarks[0].Metrics)
+	}
+}
+
 func TestParseKeepsSubBenchNames(t *testing.T) {
 	sum, err := Parse(strings.NewReader("BenchmarkParallelQuery/workers=12-8 1 5 ns/op\n"))
 	if err != nil {

@@ -115,6 +115,32 @@ func (c *EdgeProbCache) Put(source, a, b int, p float64) {
 	s.fifo = append(s.fifo, k)
 }
 
+// InvalidateSource drops every cached probability of one data source,
+// returning the number of entries removed. Mutations call this instead of
+// discarding the whole cache: edge probabilities are keyed by
+// (source, column, column), so adding or removing a matrix can only stale
+// the entries of that one source — every other source's entries (and the
+// cache's lifetime hit/miss counters) stay warm.
+func (c *EdgeProbCache) InvalidateSource(source int) int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		kept := s.fifo[:0]
+		for _, k := range s.fifo {
+			if k.source == source {
+				delete(s.m, k)
+				removed++
+			} else {
+				kept = append(kept, k)
+			}
+		}
+		s.fifo = kept
+		s.mu.Unlock()
+	}
+	return removed
+}
+
 // Len returns the number of cached entries across all shards.
 func (c *EdgeProbCache) Len() int {
 	n := 0

@@ -81,6 +81,43 @@ func TestEdgeProbCacheConcurrent(t *testing.T) {
 	}
 }
 
+func TestEdgeProbCacheInvalidateSource(t *testing.T) {
+	c := NewEdgeProbCache(64)
+	for src := 0; src < 3; src++ {
+		c.Put(src, 0, 1, float64(src)+0.1)
+		c.Put(src, 1, 2, float64(src)+0.2)
+	}
+	c.Get(0, 0, 1) // hit, must survive the invalidation below
+	if n := c.InvalidateSource(1); n != 2 {
+		t.Errorf("InvalidateSource removed %d entries, want 2", n)
+	}
+	if _, ok := c.Get(1, 0, 1); ok {
+		t.Error("invalidated entry still cached")
+	}
+	if _, ok := c.Get(1, 1, 2); ok {
+		t.Error("invalidated entry still cached")
+	}
+	// Other sources' entries stay warm.
+	for _, src := range []int{0, 2} {
+		if p, ok := c.Get(src, 0, 1); !ok || p != float64(src)+0.1 {
+			t.Errorf("source %d entry lost by unrelated invalidation: %v, %v", src, p, ok)
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4", c.Len())
+	}
+	// Hit/miss counters survive: 3 hits above plus the 2 misses on the
+	// invalidated keys, plus the initial hit.
+	st := c.Stats()
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Errorf("stats after invalidation = %+v, want 3 hits, 2 misses", st)
+	}
+	// Invalidating an absent source is a no-op.
+	if n := c.InvalidateSource(42); n != 0 {
+		t.Errorf("InvalidateSource(absent) = %d", n)
+	}
+}
+
 func TestEdgeProbCacheStats(t *testing.T) {
 	c := NewEdgeProbCache(16)
 	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {

@@ -62,6 +62,19 @@ type Params struct {
 	// tracing never changes answers or the RNG streams, only observes.
 	Trace *obs.Tracer
 
+	// Sink optionally streams verified answers into a shared bounded top-k
+	// merge (the sharded scatter-gather path, DESIGN.md §10). When set,
+	// refinement switches to the streamed mode: candidates are verified in
+	// descending Lemma-5 upper-bound order with per-candidate (Seed, source)
+	// RNG streams, each answer is offered to the sink as it is found, and
+	// the loop terminates early once the best remaining upper bound falls
+	// below the sink's floor (the current k-th probability across all
+	// shards). Answer content is deterministic; which candidates are pruned
+	// by the rising floor — and therefore the pruning counters — may vary
+	// with cross-shard timing. Nil (the default) keeps the exact
+	// set-returning refinement modes.
+	Sink *TopKSink
+
 	// Ablation switches (used by the benchmark harness to isolate the
 	// contribution of each pruning layer; leave false in production).
 	DisableIndexPruning bool // skip Lemma 6 node-pair pruning

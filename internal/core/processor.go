@@ -105,6 +105,14 @@ func (p *Processor) InferQueryGraph(mq *gene.Matrix) (*grn.Graph, error) {
 	return p.inferQueryGraph(exec.Background(nil), mq)
 }
 
+// InferQueryGraphContext is InferQueryGraph under an explicit context:
+// cancellation is honored and params.Workers > 1 fans the pair estimates
+// out across the worker pool. The sharded coordinator uses it to infer the
+// query graph once before scattering it over the shards.
+func (p *Processor) InferQueryGraphContext(ctx context.Context, mq *gene.Matrix) (*grn.Graph, error) {
+	return p.inferQueryGraph(p.newExec(ctx), mq)
+}
+
 // inferQueryGraph is InferQueryGraph under an execution context: with a
 // worker budget it fans the O(n²) pair estimates out with per-pair seeds
 // (see inferPrunedParallel); sequentially it reproduces the single-stream
@@ -530,6 +538,9 @@ func (st *Stats) applyCandidate(o candOutcome) {
 // otherwise they are verified sequentially on the processor's single
 // scorer/pruner streams, byte-identical to the pre-parallel implementation.
 func (p *Processor) refine(ec *exec.Context, q *grn.Graph, sources []int, st *Stats) ([]Answer, error) {
+	if p.params.Sink != nil {
+		return p.refineStreamed(ec, q, sources, st)
+	}
 	if ec.Parallel() {
 		return p.refineParallel(ec, q, sources, st)
 	}
@@ -554,14 +565,88 @@ type colBufs struct {
 	a, b []float64
 }
 
+// refineStreamed is refinement against a shared top-k sink (params.Sink):
+// the cross-shard Markov-bound early-termination mode of the scatter-gather
+// path. Candidates are ordered by descending Lemma-5 upper bound so that
+// the likeliest answers raise the sink floor first; each verification runs
+// at the current effective α (max of params.Alpha and the floor), and once
+// the best remaining upper bound drops to the floor the whole tail is
+// pruned in one step — no candidate in it can displace the k-th answer any
+// shard has found.
+//
+// Every candidate draws from its own (Seed, source)-addressed streams (the
+// refineParallel convention), so the answer content is independent of
+// verification order and of how far other shards have raised the floor;
+// only which candidates get pruned — and so the pruning/cache counters —
+// depends on timing.
+func (p *Processor) refineStreamed(ec *exec.Context, q *grn.Graph, sources []int, st *Stats) ([]Answer, error) {
+	sink := p.params.Sink
+	qEdges := q.Edges()
+
+	mStart := time.Now()
+	type cand struct {
+		src int
+		ub  float64
+	}
+	cands := make([]cand, len(sources))
+	for i, src := range sources {
+		cands[i] = cand{src: src, ub: p.candidateUpperBound(q, qEdges, src)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].ub != cands[j].ub {
+			return cands[i].ub > cands[j].ub
+		}
+		return cands[i].src < cands[j].src
+	})
+	st.MarkovPrune += time.Since(mStart)
+
+	var answers []Answer
+	var bufs colBufs
+	for i, c := range cands {
+		if err := ec.Err(); err != nil {
+			return nil, err
+		}
+		alpha := p.params.Alpha
+		if f := sink.Floor(); f > alpha {
+			alpha = f
+		}
+		if c.ub <= alpha {
+			// Sorted descending: every remaining candidate is bounded by
+			// c.ub too. Prune the whole tail (Lemma 5 at the floor).
+			st.MatricesPrunedL5 += len(cands) - i
+			break
+		}
+		sc, pr := p.scorerFor(uint64(int64(c.src)))
+		o := p.verifyCandidateAt(ec.IO(), q, qEdges, c.src, sc, pr, &bufs, alpha, true)
+		st.applyCandidate(o)
+		if o.answer != nil {
+			answers = append(answers, *o.answer)
+			sink.Offer(*o.answer)
+		}
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i].Source < answers[j].Source })
+	return answers, nil
+}
+
 // verifyCandidate checks one candidate matrix: Lemma-5 graph existence
 // pruning on pivot upper bounds, then exact verification of Definition 4,
 // reading standardized vectors from the paged heap file charged to io and
 // drawing Monte Carlo samples from the given scorer/pruner streams.
 func (p *Processor) verifyCandidate(io pagestore.Toucher, q *grn.Graph, qEdges []grn.Edge, src int,
 	sc *grn.RandomizedScorer, pr *grn.Pruner, bufs *colBufs) candOutcome {
+	return p.verifyCandidateAt(io, q, qEdges, src, sc, pr, bufs, p.params.Alpha, false)
+}
+
+// verifyCandidateAt is verifyCandidate at an explicit α cutoff: the
+// streamed refinement path passes the sink floor (the k-th probability so
+// far) instead of params.Alpha, turning the Lemma-5 test and the running
+// product cutoff into cross-shard top-k pruning. skipMarkov skips the
+// Lemma-5 product when the caller already evaluated it (candidate
+// ordering by upper bound precomputes the same product).
+func (p *Processor) verifyCandidateAt(io pagestore.Toucher, q *grn.Graph, qEdges []grn.Edge, src int,
+	sc *grn.RandomizedScorer, pr *grn.Pruner, bufs *colBufs, alpha float64, skipMarkov bool) candOutcome {
 	var out candOutcome
-	gamma, alpha := p.params.Gamma, p.params.Alpha
+	gamma := p.params.Gamma
 	m := p.idx.DB().BySource(src)
 	if m == nil {
 		return out
@@ -577,26 +662,56 @@ func (p *Processor) verifyCandidate(io pagestore.Toucher, q *grn.Graph, qEdges [
 		cols[v] = c
 	}
 	// Lemma 5: prune with the product of pivot-based edge upper bounds.
-	mStart := time.Now()
-	if emb := p.idx.Embedding(src); emb != nil && len(qEdges) > 0 {
-		ub := 1.0
-		for _, e := range qEdges {
-			ub *= emb.UpperBound(cols[e.S], cols[e.T], p.params.OneSided)
-			if ub <= alpha {
-				break
+	if !skipMarkov {
+		mStart := time.Now()
+		if emb := p.idx.Embedding(src); emb != nil && len(qEdges) > 0 {
+			ub := 1.0
+			for _, e := range qEdges {
+				ub *= emb.UpperBound(cols[e.S], cols[e.T], p.params.OneSided)
+				if ub <= alpha {
+					break
+				}
+			}
+			if grn.PruneByGraphExistence(ub, alpha) {
+				out.prunedL5 = true
+				out.markovDur = time.Since(mStart)
+				return out
 			}
 		}
-		if grn.PruneByGraphExistence(ub, alpha) {
-			out.prunedL5 = true
-			out.markovDur = time.Since(mStart)
-			return out
-		}
+		out.markovDur = time.Since(mStart)
 	}
-	out.markovDur = time.Since(mStart)
 	vStart := time.Now()
 	out.answer = p.verifyExact(io, q, qEdges, src, m, cols, gamma, alpha, sc, pr, bufs, &out)
 	out.verifyDur = time.Since(vStart)
 	return out
+}
+
+// candidateUpperBound evaluates the full Lemma-5 pivot upper-bound product
+// of one candidate matrix (no early exit, so candidates are comparable).
+// Returns 1 when the source has no pivot embedding (nothing is provable)
+// and 0 when a query gene is missing from the matrix (cannot match).
+func (p *Processor) candidateUpperBound(q *grn.Graph, qEdges []grn.Edge, src int) float64 {
+	m := p.idx.DB().BySource(src)
+	if m == nil {
+		return 0
+	}
+	cols := make([]int, q.NumVertices())
+	for v := 0; v < q.NumVertices(); v++ {
+		c := m.IndexOf(q.Gene(v))
+		if c < 0 {
+			return 0
+		}
+		cols[v] = c
+	}
+	emb := p.idx.Embedding(src)
+	if emb == nil || len(qEdges) == 0 {
+		return 1
+	}
+	ub := 1.0
+	for _, e := range qEdges {
+		ub *= emb.UpperBound(cols[e.S], cols[e.T], p.params.OneSided)
+	}
+	return ub
 }
 
 // verifyExact is the exact-verification tail of verifyCandidate: it infers

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// TopKSink is a bounded top-k answer merge shared by the concurrent
+// producers of one sharded query (DESIGN.md §10). Each shard streams its
+// verified answers into the sink; the sink keeps only the best k by
+// (probability descending, source ascending) and publishes a monotone
+// "floor" — the largest effective α under which no top-k answer can be
+// lost. Refinement loops consult the floor to tighten their Lemma-5 and
+// running-product cutoffs mid-query: once k answers with probability ≥ θ
+// exist, any candidate whose upper bound falls below θ can never displace
+// them, so a shard whose best remaining upper bound is under the floor
+// terminates early (the cross-shard Markov-bound early-termination rule).
+//
+// The floor is the largest float64 strictly below the current k-th
+// probability, so a candidate tied with the k-th answer still verifies
+// (probability comparisons in refinement are strict, and ties break toward
+// smaller source IDs in the final ranking). Safe for concurrent use.
+type TopKSink struct {
+	k     int
+	alpha float64       // the query's base α; the floor never drops below it
+	floor atomic.Uint64 // math.Float64bits of the current effective α
+
+	mu      sync.Mutex
+	answers []Answer // sorted by (Prob desc, Source asc), len <= k
+}
+
+// NewTopKSink returns a sink keeping the best k answers, with the query's
+// base α as the initial floor. k must be positive.
+func NewTopKSink(k int, alpha float64) *TopKSink {
+	s := &TopKSink{k: k, alpha: alpha}
+	s.floor.Store(math.Float64bits(alpha))
+	return s
+}
+
+// K returns the sink's capacity.
+func (s *TopKSink) K() int { return s.k }
+
+// Floor returns the current effective α: the base α until k answers have
+// arrived, then the predecessor of the k-th probability. Monotone
+// non-decreasing over the sink's lifetime.
+func (s *TopKSink) Floor() float64 {
+	return math.Float64frombits(s.floor.Load())
+}
+
+// Offer merges one answer into the top-k set, raising the floor when the
+// set is full. Answers at or below the current floor are ignored (they
+// cannot enter the top k).
+func (s *TopKSink) Offer(a Answer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.answers), func(i int) bool {
+		if s.answers[i].Prob != a.Prob {
+			return s.answers[i].Prob < a.Prob
+		}
+		return s.answers[i].Source > a.Source
+	})
+	if i >= s.k {
+		return
+	}
+	s.answers = append(s.answers, Answer{})
+	copy(s.answers[i+1:], s.answers[i:])
+	s.answers[i] = a
+	if len(s.answers) > s.k {
+		s.answers = s.answers[:s.k]
+	}
+	if len(s.answers) == s.k {
+		kth := s.answers[s.k-1].Prob
+		// The largest α that still lets a kth-tied candidate pass the
+		// strict prob > α refinement cutoffs.
+		f := math.Nextafter(kth, 0)
+		if f > s.alpha {
+			s.floor.Store(math.Float64bits(f))
+		}
+	}
+}
+
+// Results returns the merged top-k answers, ranked by probability
+// (ties toward smaller source IDs). The returned slice is a copy.
+func (s *TopKSink) Results() []Answer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Answer, len(s.answers))
+	copy(out, s.answers)
+	return out
+}

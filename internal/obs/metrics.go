@@ -289,6 +289,17 @@ func (r *Registry) CounterVec(name, help, label string) CounterVec {
 // With returns the counter for one label value, creating it on first use.
 func (v CounterVec) With(labelValue string) *Counter { return v.f.get(labelValue).c }
 
+// GaugeVec is a gauge family with one label dimension.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a gauge family keyed by the given label name.
+func (r *Registry) GaugeVec(name, help, label string) GaugeVec {
+	return GaugeVec{r.family(name, help, label, kindGauge, nil)}
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v GaugeVec) With(labelValue string) *Gauge { return v.f.get(labelValue).g }
+
 // HistogramVec is a histogram family with one label dimension.
 type HistogramVec struct{ f *family }
 

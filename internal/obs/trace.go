@@ -42,6 +42,18 @@ const (
 	// its duration is a subset, not an addition — and is absent when the
 	// kernel is disabled or the analytic estimator is in use.
 	StageInferKernel
+	// StageScatter is the sharded fan-out of one query across the index
+	// partitions (DESIGN.md §10): its duration is the wall-clock of the
+	// whole scatter wave, In is the number of shards queried and Out the
+	// total answers they produced. The per-shard pipeline stages (traverse,
+	// filter, markov_prune, monte_carlo) nest within it — one span per
+	// shard, recorded into the same trace.
+	StageScatter
+	// StageMerge is the cross-shard answer merge: either the ordered
+	// concatenation of per-shard answer sets or the bounded top-k merge
+	// with Markov-bound early termination. In counts answers entering the
+	// merge, Out the answers surviving it.
+	StageMerge
 
 	numStages
 )
@@ -50,7 +62,7 @@ const (
 // "stage" label on metrics and in JSON trace summaries.
 var stageNames = [numStages]string{
 	"infer", "traverse", "filter", "markov_prune", "monte_carlo", "topk",
-	"infer_kernel",
+	"infer_kernel", "scatter", "merge",
 }
 
 // String returns the stage's metric/wire name.

@@ -19,7 +19,7 @@ func queryFixture(t *testing.T, s *Server, trace bool) QueryResponse {
 	t.Helper()
 	// The fixture database plants the A,B,C module in every source; use
 	// source 3's own columns so the query matches.
-	m := s.idx.DB().BySource(3)
+	m := s.coord.Database().BySource(3)
 	req := QueryRequest{
 		Genes:   []string{"A", "B", "C"},
 		Columns: [][]float64{m.Col(0), m.Col(1), m.Col(2)},

@@ -20,15 +20,25 @@
 // EnablePprof is set. Requests may opt into a per-request trace summary
 // in the JSON response with "trace": true in their params.
 //
+// The server runs over a shard.Coordinator: one shard wrapping a single
+// index in the default deployment (New), or P independent index shards
+// queried scatter-gather (NewSharded). Sharded servers surface per-shard
+// counters in /stats (the "shards" array) and /metrics (the imgrn_shard_*
+// gauge families, refreshed on scrape). Mutations — POST /add-matrix and
+// /remove-matrix — route to the shard their source is placed on and
+// invalidate only that source's cached edge probabilities.
+//
 // Endpoints:
 //
-//	GET  /healthz       liveness probe
-//	GET  /stats         database and index statistics
-//	GET  /metrics       Prometheus text exposition of the Metrics registry
-//	GET  /debug/pprof/  net/http/pprof handlers (404 unless EnablePprof)
-//	POST /query         IM-GRN query from a feature matrix
-//	POST /query-graph   IM-GRN query from an explicit probabilistic pattern
-//	POST /cluster       cluster the data sources by regulatory structure
+//	GET  /healthz        liveness probe
+//	GET  /stats          database, index and per-shard statistics
+//	GET  /metrics        Prometheus text exposition of the Metrics registry
+//	GET  /debug/pprof/   net/http/pprof handlers (404 unless EnablePprof)
+//	POST /query          IM-GRN query from a feature matrix
+//	POST /query-graph    IM-GRN query from an explicit probabilistic pattern
+//	POST /cluster        cluster the data sources by regulatory structure
+//	POST /add-matrix     index a new data source online
+//	POST /remove-matrix  drop a data source
 package server
 
 import (
@@ -50,15 +60,18 @@ import (
 	"github.com/imgrn/imgrn/internal/index"
 	"github.com/imgrn/imgrn/internal/obs"
 	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/shard"
 )
 
-// Server handles IM-GRN HTTP requests over one index. Handlers are safe
-// for concurrent use; queries do not serialize against each other because
-// each runs on its own execution context.
+// Server handles IM-GRN HTTP requests over a shard coordinator (a single
+// shard for New, P shards for NewSharded). Handlers are safe for
+// concurrent use; queries do not serialize against each other because
+// each runs on its own execution context, and a mutation locks only the
+// shard its source is placed on.
 type Server struct {
-	idx *index.Index
-	cat *gene.Catalog
-	mux *http.ServeMux
+	coord *shard.Coordinator
+	cat   *gene.Catalog
+	mux   *http.ServeMux
 
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
@@ -100,37 +113,6 @@ type Server struct {
 
 	semOnce sync.Once
 	sem     chan struct{}
-
-	// cacheMu guards caches; the caches themselves are lock-striped and
-	// shared by concurrent requests with identical estimator settings.
-	cacheMu sync.Mutex
-	caches  map[estimatorSig]*core.EdgeProbCache
-}
-
-// estimatorSig identifies one estimator configuration; memoized edge
-// probabilities must not be shared across configurations.
-type estimatorSig struct {
-	samples  int
-	seed     uint64
-	analytic bool
-	oneSided bool
-}
-
-// cacheFor returns (creating if needed) the edge-probability cache for the
-// estimator settings of p.
-func (s *Server) cacheFor(p ParamsJSON) *core.EdgeProbCache {
-	sig := estimatorSig{samples: p.Samples, seed: p.Seed, analytic: p.Analytic, oneSided: p.OneSided}
-	s.cacheMu.Lock()
-	defer s.cacheMu.Unlock()
-	if s.caches == nil {
-		s.caches = make(map[estimatorSig]*core.EdgeProbCache)
-	}
-	c, ok := s.caches[sig]
-	if !ok {
-		c = core.NewEdgeProbCache(0)
-		s.caches[sig] = c
-	}
-	return c
 }
 
 // serverMetrics bundles the registry instruments the handlers record
@@ -151,6 +133,18 @@ type serverMetrics struct {
 	inFlight     *obs.Gauge
 	shed         *obs.Counter
 	slow         *obs.Counter
+	mutations    obs.CounterVec // by op (add, remove)
+
+	// Per-shard gauge families, one series per shard, refreshed from the
+	// coordinator snapshot on every /metrics scrape.
+	shardSources     obs.GaugeVec
+	shardQueries     obs.GaugeVec
+	shardMutations   obs.GaugeVec
+	shardIOPages     obs.GaugeVec
+	shardIOHits      obs.GaugeVec
+	shardCacheSize   obs.GaugeVec
+	shardCacheHits   obs.GaugeVec
+	shardCacheMisses obs.GaugeVec
 }
 
 func (m *serverMetrics) init(r *obs.Registry) {
@@ -183,20 +177,66 @@ func (m *serverMetrics) init(r *obs.Registry) {
 		"Requests rejected with 503 because the server was at MaxConcurrent.")
 	m.slow = r.Counter("imgrn_slow_queries_total",
 		"Queries that exceeded SlowQueryThreshold.")
+	m.mutations = r.CounterVec("imgrn_mutations_total",
+		"Database mutations served, by operation (add, remove).", "op")
+	m.shardSources = r.GaugeVec("imgrn_shard_sources",
+		"Data sources placed on each shard.", "shard")
+	m.shardQueries = r.GaugeVec("imgrn_shard_queries",
+		"Queries served by each shard since start.", "shard")
+	m.shardMutations = r.GaugeVec("imgrn_shard_mutations",
+		"Mutations routed to each shard since start.", "shard")
+	m.shardIOPages = r.GaugeVec("imgrn_shard_io_pages",
+		"Simulated page accesses charged against each shard's index.", "shard")
+	m.shardIOHits = r.GaugeVec("imgrn_shard_io_buffer_hits",
+		"Page touches absorbed by per-query buffer pools, per shard.", "shard")
+	m.shardCacheSize = r.GaugeVec("imgrn_shard_cache_entries",
+		"Memoized edge probabilities held by each shard's caches.", "shard")
+	m.shardCacheHits = r.GaugeVec("imgrn_shard_cache_hits",
+		"Edge-probability cache hits on each shard since start.", "shard")
+	m.shardCacheMisses = r.GaugeVec("imgrn_shard_cache_misses",
+		"Edge-probability cache misses on each shard since start.", "shard")
 	// Pre-create the per-stage series so the family is complete (all
 	// zero) on the first scrape.
 	for _, name := range obs.StageNames() {
 		m.stage.With(name)
 	}
-	for _, ep := range []string{"query", "query-graph", "cluster"} {
+	for _, ep := range []string{"query", "query-graph", "cluster", "add-matrix", "remove-matrix"} {
 		m.requests.With(ep)
+	}
+	for _, op := range []string{"add", "remove"} {
+		m.mutations.With(op)
 	}
 }
 
-// New returns a server over idx. cat translates gene names in requests;
-// a nil catalog restricts requests to numeric gene IDs.
+// observeShards refreshes the per-shard gauge families from a coordinator
+// snapshot; called on every /metrics scrape so the series track the
+// coordinator's lifetime counters.
+func (m *serverMetrics) observeShards(infos []shard.ShardInfo) {
+	for _, info := range infos {
+		label := strconv.Itoa(info.Shard)
+		m.shardSources.With(label).Set(int64(info.Sources))
+		m.shardQueries.With(label).Set(int64(info.Queries))
+		m.shardMutations.With(label).Set(int64(info.Mutations))
+		m.shardIOPages.With(label).Set(int64(info.IOCost))
+		m.shardIOHits.With(label).Set(int64(info.IOHits))
+		m.shardCacheSize.With(label).Set(int64(info.CacheEntries))
+		m.shardCacheHits.With(label).Set(int64(info.CacheHits))
+		m.shardCacheMisses.With(label).Set(int64(info.CacheMisses))
+	}
+}
+
+// New returns a server over idx, wrapped as a single-shard coordinator.
+// cat translates gene names in requests; a nil catalog restricts requests
+// to numeric gene IDs.
 func New(idx *index.Index, cat *gene.Catalog) *Server {
-	s := &Server{idx: idx, cat: cat, MaxBodyBytes: 32 << 20, QueryTimeout: 30 * time.Second}
+	return NewSharded(shard.FromIndex(idx), cat)
+}
+
+// NewSharded returns a server over an already-built shard coordinator;
+// queries run scatter-gather across its shards and /stats and /metrics
+// carry per-shard counters.
+func NewSharded(coord *shard.Coordinator, cat *gene.Catalog) *Server {
+	s := &Server{coord: coord, cat: cat, MaxBodyBytes: 32 << 20, QueryTimeout: 30 * time.Second}
 	s.Metrics = obs.NewRegistry()
 	s.met.init(s.Metrics)
 	mux := http.NewServeMux()
@@ -206,6 +246,8 @@ func New(idx *index.Index, cat *gene.Catalog) *Server {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/query-graph", s.handleQueryGraph)
 	mux.HandleFunc("/cluster", s.handleCluster)
+	mux.HandleFunc("/add-matrix", s.handleAddMatrix)
+	mux.HandleFunc("/remove-matrix", s.handleRemoveMatrix)
 	mux.HandleFunc("/debug/pprof/", s.gatePprof(pprof.Index))
 	mux.HandleFunc("/debug/pprof/cmdline", s.gatePprof(pprof.Cmdline))
 	mux.HandleFunc("/debug/pprof/profile", s.gatePprof(pprof.Profile))
@@ -234,6 +276,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	s.met.observeShards(s.coord.Snapshot())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.Metrics.WritePrometheus(w)
 }
@@ -303,15 +346,34 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// StatsResponse summarizes the database and index.
+// StatsResponse summarizes the database and index. Index figures
+// (vectors, nodes, pages) aggregate across shards; Shards carries one
+// entry per shard with its partition size and lifetime counters.
 type StatsResponse struct {
-	Matrices      int    `json:"matrices"`
-	Vectors       int    `json:"vectors"`
-	DistinctGenes int    `json:"distinctGenes"`
-	TreeNodes     int    `json:"treeNodes"`
-	TreeHeight    int    `json:"treeHeight"`
-	Pages         uint64 `json:"pages"`
-	Pivots        int    `json:"pivotsPerMatrix"`
+	Matrices      int              `json:"matrices"`
+	Vectors       int              `json:"vectors"`
+	DistinctGenes int              `json:"distinctGenes"`
+	TreeNodes     int              `json:"treeNodes"`
+	TreeHeight    int              `json:"treeHeight"`
+	Pages         uint64           `json:"pages"`
+	Pivots        int              `json:"pivotsPerMatrix"`
+	NumShards     int              `json:"numShards"`
+	Shards        []ShardStatsJSON `json:"shards"`
+}
+
+// ShardStatsJSON is one shard's /stats entry: partition size, operation
+// counts, and lifetime I/O and cache counters.
+type ShardStatsJSON struct {
+	Shard        int    `json:"shard"`
+	Sources      int    `json:"sources"`
+	Vectors      int    `json:"vectors"`
+	Queries      uint64 `json:"queries"`
+	Mutations    uint64 `json:"mutations"`
+	IOPages      uint64 `json:"ioPages"`
+	IOBufferHits uint64 `json:"ioBufferHits"`
+	CacheEntries int    `json:"cacheEntries"`
+	CacheHits    uint64 `json:"cacheHits"`
+	CacheMisses  uint64 `json:"cacheMisses"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -319,8 +381,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	sum := s.idx.DB().Summary()
-	bs := s.idx.Stats()
+	sum := s.coord.Database().Summary()
+	bs := s.coord.IndexStats()
+	infos := s.coord.Snapshot()
+	shards := make([]ShardStatsJSON, len(infos))
+	for i, info := range infos {
+		shards[i] = ShardStatsJSON{
+			Shard:        info.Shard,
+			Sources:      info.Sources,
+			Vectors:      info.Vectors,
+			Queries:      info.Queries,
+			Mutations:    info.Mutations,
+			IOPages:      info.IOCost,
+			IOBufferHits: info.IOHits,
+			CacheEntries: info.CacheEntries,
+			CacheHits:    info.CacheHits,
+			CacheMisses:  info.CacheMisses,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Matrices:      sum.Matrices,
 		Vectors:       bs.Vectors,
@@ -328,7 +406,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		TreeNodes:     bs.TreeNodes,
 		TreeHeight:    bs.TreeHeight,
 		Pages:         bs.Pages,
-		Pivots:        s.idx.D(),
+		Pivots:        s.coord.D(),
+		NumShards:     s.coord.NumShards(),
+		Shards:        shards,
 	})
 }
 
@@ -496,8 +576,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := obs.NewTracer()
-	proc, err := s.processor(req.Params, tr)
-	if err != nil {
+	params := s.params(req.Params, tr)
+	if err := params.Validate(); err != nil {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -508,7 +588,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	answers, st, err := proc.QueryContext(ctx, mq)
+	// TopK routes through the coordinator's bounded merge so sharded
+	// deployments terminate refinement early on the cross-shard Markov
+	// bound; the answers come back ranked and trimmed.
+	var answers []core.Answer
+	var st core.Stats
+	if req.Params.TopK > 0 {
+		answers, st, err = s.coord.QueryTopKContext(ctx, mq, params, req.Params.TopK)
+	} else {
+		answers, st, err = s.coord.QueryContext(ctx, mq, params)
+	}
 	if err != nil {
 		s.queryError(w, err)
 		return
@@ -536,8 +625,8 @@ func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
 		q.SetEdge(e.S, e.T, e.Prob)
 	}
 	tr := obs.NewTracer()
-	proc, err := s.processor(req.Params, tr)
-	if err != nil {
+	params := s.params(req.Params, tr)
+	if err := params.Validate(); err != nil {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -548,7 +637,7 @@ func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	answers, st, err := proc.QueryGraphContext(ctx, q)
+	answers, st, err := s.coord.QueryGraphContext(ctx, q, params)
 	if err != nil {
 		s.queryError(w, err)
 		return
@@ -586,7 +675,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	db := s.idx.DB()
+	db := s.coord.Database()
 	if req.K < 1 || req.K > db.Len() {
 		s.error(w, http.StatusBadRequest,
 			fmt.Sprintf("k=%d out of range [1,%d]", req.K, db.Len()))
@@ -637,16 +726,18 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	return true
 }
 
-func (s *Server) processor(p ParamsJSON, tr *obs.Tracer) (*core.Processor, error) {
+// params maps the wire params onto core.Params. The coordinator supplies
+// each shard's edge-probability cache itself, keyed by estimator settings.
+func (s *Server) params(p ParamsJSON, tr *obs.Tracer) core.Params {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = s.Workers
 	}
-	return core.NewProcessor(s.idx, core.Params{
+	return core.Params{
 		Gamma: p.Gamma, Alpha: p.Alpha, Samples: p.Samples,
 		Seed: p.Seed, Analytic: p.Analytic, OneSided: p.OneSided,
-		Workers: workers, Cache: s.cacheFor(p), Trace: tr,
-	})
+		Workers: workers, Trace: tr,
+	}
 }
 
 // observeQuery feeds one finished query's statistics and trace spans
