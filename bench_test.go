@@ -393,21 +393,32 @@ func BenchmarkQueryIMGRN(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelQuery sweeps the intra-query worker budget over the
-// Fig. 6 query workload. Workers=1 is the exact sequential algorithm;
-// higher counts fan query inference and candidate verification out per
-// work unit. Samples is raised above the Fig. 6 default so the Monte
-// Carlo estimation — the component the worker pool parallelizes —
-// dominates, as in the paper's expensive-query regime. Each sub-run
-// reports its wall-clock speedup over the workers=1 sub-run (bounded by
-// GOMAXPROCS; on a single-CPU host it stays ~1).
+// BenchmarkParallelQuery sweeps the intra-query worker budget over a
+// grown Fig. 6 query workload: 8-gene queries (nearly 3x the gene pairs
+// of the 5-gene figure queries) at Samples=4096, so Monte Carlo
+// estimation — the component the worker pool parallelizes — dominates,
+// as in the paper's expensive-query regime, and the work-stealing
+// scheduler has enough work units per fan-out to exercise stealing.
+// Workers=1 is the exact sequential algorithm; each sub-run reports its
+// wall-clock speedup over the workers=1 sub-run (bounded by GOMAXPROCS;
+// on a single-CPU host it stays ~1) and allocs/op, which the per-query
+// scratch arenas keep nearly flat across the sweep.
 func BenchmarkParallelQuery(b *testing.B) {
 	qb := setupQueryBench(b, 16)
+	rng := randgen.New(16 ^ 0xfeed)
+	var queries []*gene.Matrix
+	for i := 0; i < 5; i++ {
+		q, _, err := qb.ds.ExtractQuery(rng, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries = append(queries, q)
+	}
 	var seqNsPerOp float64
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			proc, err := core.NewProcessor(qb.idx, core.Params{
-				Gamma: 0.5, Alpha: 0.5, Samples: 2048, Seed: 16, Workers: workers,
+				Gamma: 0.5, Alpha: 0.5, Samples: 4096, Seed: 16, Workers: workers,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -415,7 +426,7 @@ func BenchmarkParallelQuery(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := proc.Query(qb.queries[i%len(qb.queries)]); err != nil {
+				if _, _, err := proc.Query(queries[i%len(queries)]); err != nil {
 					b.Fatal(err)
 				}
 			}

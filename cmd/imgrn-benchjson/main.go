@@ -2,9 +2,12 @@
 // into a machine-readable JSON summary for the inference-kernel benchmarks
 // (`make bench-json` → BENCH_inference.json).
 //
-// The summary carries every parsed benchmark line (name, iterations, ns/op,
-// allocs/op, extra metrics such as "speedup" and "ns/pair") plus derived
-// speedup ratios for the scalar-vs-batch pairs the kernel work targets:
+// The summary carries a meta block describing the collection host
+// (go version, GOOS/GOARCH, num_cpu, gomaxprocs — without which the
+// parallel speedup ratios cannot be interpreted), every parsed benchmark
+// line (name, iterations, ns/op, allocs/op, extra metrics such as
+// "speedup" and "ns/pair"), plus derived speedup ratios for the
+// scalar-vs-batch pairs the kernel work targets:
 // BenchmarkInferPruned/{scalar,batch} by ns/op, and
 // BenchmarkEdgeProbability{Scalar,Batch} by their ns/pair metric.
 package main
@@ -23,6 +26,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "imgrn-benchjson:", err)
 		os.Exit(1)
 	}
+	sum.Meta = benchjson.CollectMeta()
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(sum); err != nil {

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"io"
-	"sort"
 	"sync"
 
 	"github.com/imgrn/imgrn/internal/cluster"
@@ -380,12 +379,7 @@ func (e *Engine) QueryTopKContext(ctx context.Context, mq *Matrix, params QueryP
 	}
 	mark := params.Trace.Start(obs.StageTopK)
 	in := len(answers)
-	sort.SliceStable(answers, func(i, j int) bool {
-		if answers[i].Prob != answers[j].Prob {
-			return answers[i].Prob > answers[j].Prob
-		}
-		return answers[i].Source < answers[j].Source
-	})
+	core.RankAnswers(answers)
 	if k > 0 && len(answers) > k {
 		answers = answers[:k]
 	}

@@ -7,9 +7,35 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
 )
+
+// Meta records the host configuration a benchmark run was collected on,
+// so BENCH_*.json numbers — in particular the parallel speedup ratios,
+// which are meaningless without knowing the core budget — can be read in
+// context.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+// CollectMeta snapshots the current process's runtime configuration. It is
+// accurate for the Makefile pipelines, which run the benchmarks and the
+// converter on the same host.
+func CollectMeta() *Meta {
+	return &Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
 
 // Benchmark is one parsed benchmark result line.
 type Benchmark struct {
@@ -27,6 +53,10 @@ type Benchmark struct {
 
 // Summary is the full parsed output plus derived speedup ratios.
 type Summary struct {
+	// Meta describes the host the run was collected on; filled in by
+	// cmd/imgrn-benchjson via CollectMeta, nil when parsing archived
+	// output offline.
+	Meta       *Meta       `json:"meta,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// Speedups maps a comparison label to baseline-time / candidate-time
 	// (> 1 means the candidate is faster).

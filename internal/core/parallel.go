@@ -8,8 +8,6 @@ import (
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/grn"
 	"github.com/imgrn/imgrn/internal/obs"
-	"github.com/imgrn/imgrn/internal/pagestore"
-	"github.com/imgrn/imgrn/internal/randgen"
 )
 
 // Parallel execution paths (params.Workers > 1).
@@ -32,31 +30,24 @@ import (
 // the pre-parallel implementation); both are deterministic under a fixed
 // Seed.
 
-// scorerFor returns a scorer/pruner pair whose streams are determined by
-// the query seed and the work-unit coordinates alone.
-func (p *Processor) scorerFor(coords ...uint64) (*grn.RandomizedScorer, *grn.Pruner) {
-	sc := grn.NewRandomizedScorer(randgen.SeedFrom(p.params.Seed^seedScorer, coords...), p.params.Samples)
-	sc.OneSided = p.params.OneSided
-	sc.Batch = !p.params.DisableBatchInference
-	pr := grn.NewPruner(randgen.SeedFrom(p.params.Seed^seedPruner, coords...), p.params.BoundSamples)
-	pr.OneSided = p.params.OneSided
-	return sc, pr
-}
-
 // refineParallel verifies the candidate matrices concurrently: one work
-// unit per candidate, each with its own scorer/pruner streams (seeded from
-// the source ID) and its own sub-reader charging a private cold page
-// buffer. Outcomes are aggregated in source order.
+// unit per candidate, each drawing from its own (Seed, source)-addressed
+// scorer/pruner streams (reseeded into the worker slot's pooled pair) and
+// charging its own sub-reader with a private cold page buffer — SubReader
+// stays per-candidate so I/O accounting is schedule-independent. Outcomes
+// are aggregated in source order.
 func (p *Processor) refineParallel(ec *exec.Context, q *grn.Graph, sources []int, st *Stats) ([]Answer, error) {
 	qEdges := q.Edges()
-	outcomes := make([]candOutcome, len(sources))
-	readers := make([]*pagestore.Reader, len(sources))
-	err := ec.ForEach(len(sources), func(i int) error {
+	qs := queryScratchFor(ec)
+	outcomes := exec.GrowSlice(&qs.outcomes, len(sources))
+	readers := exec.GrowSlice(&qs.readers, len(sources))
+	qs.growWorkers(ec.Workers())
+	err := ec.ForEachWorker(len(sources), ec.Grain(), func(w, i int) error {
 		src := sources[i]
-		sc, pr := p.scorerFor(uint64(int64(src)))
+		ws := qs.worker(w)
+		sc, pr := p.primeScorers(ws, uint64(int64(src)))
 		sub := ec.IO().SubReader()
-		var bufs colBufs
-		outcomes[i] = p.verifyCandidate(sub, q, qEdges, src, sc, pr, &bufs)
+		outcomes[i] = p.verifyCandidate(sub, q, qEdges, src, sc, pr, &ws.bufs)
 		readers[i] = sub
 		return nil
 	})
@@ -87,22 +78,24 @@ func (p *Processor) inferPrunedParallel(ec *exec.Context, mq *gene.Matrix) (*grn
 		return p.inferPrunedParallelBatch(ec, mq)
 	}
 	n := mq.NumGenes()
-	type pair struct{ s, t int }
-	pairs := make([]pair, 0, n*(n-1)/2)
+	qs := queryScratchFor(ec)
+	pairs := qs.pairs[:0]
 	for s := 0; s < n; s++ {
 		if !mq.Informative(s) {
 			continue
 		}
 		for t := s + 1; t < n; t++ {
 			if mq.Informative(t) {
-				pairs = append(pairs, pair{s, t})
+				pairs = append(pairs, genePair{s, t})
 			}
 		}
 	}
-	scores := make([]float64, len(pairs))
-	err := ec.ForEach(len(pairs), func(i int) error {
+	qs.pairs = pairs
+	scores := exec.GrowSlice(&qs.scores, len(pairs))
+	qs.growWorkers(ec.Workers())
+	err := ec.ForEachWorker(len(pairs), ec.Grain(), func(w, i int) error {
 		s, t := pairs[i].s, pairs[i].t
-		sc, pr := p.scorerFor(uint64(s), uint64(t))
+		sc, pr := p.primeScorers(qs.worker(w), uint64(s), uint64(t))
 		if pr.UpperBound(mq.StdCol(s), mq.StdCol(t)) <= p.params.Gamma {
 			scores[i] = 0 // Lemma 3: the edge cannot clear gamma
 			return nil
@@ -156,10 +149,12 @@ func (p *Processor) inferPrunedParallelBatch(ec *exec.Context, mq *gene.Matrix) 
 		kernel    time.Duration
 		estimated int
 	}
+	qs := queryScratchFor(ec)
 	results := make([]colResult, len(units))
-	err := ec.ForEach(len(units), func(i int) error {
+	qs.growWorkers(ec.Workers())
+	err := ec.ForEachWorker(len(units), ec.Grain(), func(w, i int) error {
 		u := units[i]
-		sc, pr := p.scorerFor(uint64(int64(u.t)))
+		sc, pr := p.primeScorers(qs.worker(w), uint64(int64(u.t)))
 		kStart := time.Now()
 		vals := make([]float64, len(u.srcs))
 		pr.UpperBoundColumn(mq, u.t, u.srcs, vals)

@@ -51,6 +51,14 @@ type Params struct {
 	// deterministic regardless of the goroutine schedule.
 	Workers int
 
+	// Grain is the work-stealing scheduler's chunk size: the number of
+	// consecutive work units (candidates, gene pairs) a worker claims at a
+	// time, and also the fan-out size at or below which a parallel query
+	// stays on the calling goroutine — tiny candidate sets never pay
+	// goroutine or chunk-claim overhead. 0 (the default) picks an automatic
+	// grain per fan-out; it never changes answers, only scheduling.
+	Grain int
+
 	// Cache optionally memoizes exact edge-probability estimates across
 	// queries. The cache must only be shared among queries with identical
 	// estimator settings (Samples, Seed, Analytic, OneSided); the public

@@ -30,6 +30,12 @@ type Processor struct {
 	idx    *index.Index
 	params Params
 
+	// scorer/pruner hold the single sequential (Workers <= 1) RNG streams.
+	// They are built lazily (seqScorers): the parallel and streamed paths
+	// address their randomness per work unit and never touch them, and the
+	// sharded scatter path constructs one Processor per shard per query, so
+	// eager construction charged every scatter an estimator pair it never
+	// used.
 	scorer   *grn.RandomizedScorer
 	analytic grn.AnalyticScorer
 	pruner   *grn.Pruner
@@ -40,18 +46,27 @@ func NewProcessor(idx *index.Index, params Params) (*Processor, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	sc := grn.NewRandomizedScorer(params.Seed^seedScorer, params.Samples)
-	sc.OneSided = params.OneSided
-	sc.Batch = !params.DisableBatchInference
-	pr := grn.NewPruner(params.Seed^seedPruner, params.BoundSamples)
-	pr.OneSided = params.OneSided
 	return &Processor{
 		idx:      idx,
 		params:   params,
-		scorer:   sc,
 		analytic: grn.AnalyticScorer{OneSided: params.OneSided},
-		pruner:   pr,
 	}, nil
+}
+
+// seqScorers returns the processor's sequential scorer/pruner pair,
+// constructing it on first use. The construction parameters are exactly
+// those of the former eager constructor, so the sequential sample streams
+// are byte-identical to the pre-lazy implementation.
+func (p *Processor) seqScorers() (*grn.RandomizedScorer, *grn.Pruner) {
+	if p.scorer == nil {
+		sc := grn.NewRandomizedScorer(p.params.Seed^seedScorer, p.params.Samples)
+		sc.OneSided = p.params.OneSided
+		sc.Batch = !p.params.DisableBatchInference
+		pr := grn.NewPruner(p.params.Seed^seedPruner, p.params.BoundSamples)
+		pr.OneSided = p.params.OneSided
+		p.scorer, p.pruner = sc, pr
+	}
+	return p.scorer, p.pruner
 }
 
 // Seed-space separation constants: the scorer and pruner streams must stay
@@ -67,9 +82,14 @@ func (p *Processor) Params() Params { return p.params }
 
 // newExec builds the per-query execution context: the caller's ctx, a
 // fresh per-query I/O reader (cold buffer, private counters), the
-// configured worker budget, and the optional trace collector.
+// configured worker budget and scheduling grain, the optional trace
+// collector, and a pooled scratch arena. Callers must Close the context
+// (releasing the arena) once the query's answers have been assembled.
 func (p *Processor) newExec(ctx context.Context) *exec.Context {
-	return exec.New(ctx, p.idx.NewReader(), p.params.Workers).WithTracer(p.params.Trace)
+	return exec.New(ctx, p.idx.NewReader(), p.params.Workers).
+		WithTracer(p.params.Trace).
+		WithGrain(p.params.Grain).
+		WithArena(exec.GrabArena())
 }
 
 // edgeProbVecWith computes the exact edge existence probability of two
@@ -110,7 +130,9 @@ func (p *Processor) InferQueryGraph(mq *gene.Matrix) (*grn.Graph, error) {
 // out across the worker pool. The sharded coordinator uses it to infer the
 // query graph once before scattering it over the shards.
 func (p *Processor) InferQueryGraphContext(ctx context.Context, mq *gene.Matrix) (*grn.Graph, error) {
-	return p.inferQueryGraph(p.newExec(ctx), mq)
+	ec := p.newExec(ctx)
+	defer ec.Close()
+	return p.inferQueryGraph(ec, mq)
 }
 
 // inferQueryGraph is InferQueryGraph under an execution context: with a
@@ -125,7 +147,8 @@ func (p *Processor) inferQueryGraph(ec *exec.Context, mq *gene.Matrix) (*grn.Gra
 		return p.inferPrunedParallel(ec, mq)
 	}
 	begin := time.Now()
-	g, st, err := grn.InferPruned(mq, p.scorer, p.pruner, p.params.Gamma)
+	sc, pr := p.seqScorers()
+	g, st, err := grn.InferPruned(mq, sc, pr, p.params.Gamma)
 	if err == nil && st.Kernel > 0 {
 		ec.Tracer().Record(obs.StageInferKernel, begin, st.Kernel, st.Pairs, st.Estimated)
 	}
@@ -175,6 +198,7 @@ func (p *Processor) QueryContext(ctx context.Context, mq *gene.Matrix) ([]Answer
 	var st Stats
 	start := time.Now()
 	ec := p.newExec(ctx)
+	defer ec.Close()
 
 	// Line 1: infer the exact query graph Q.
 	q, err := p.inferQueryGraph(ec, mq)
@@ -215,6 +239,7 @@ func (p *Processor) QueryGraphContext(ctx context.Context, q *grn.Graph) ([]Answ
 	var st Stats
 	start := time.Now()
 	ec := p.newExec(ctx)
+	defer ec.Close()
 	st.QueryVertices = q.NumVertices()
 	st.QueryEdges = q.NumEdges()
 	answers, err := p.queryWithGraph(ec, q, &st)
@@ -250,7 +275,7 @@ func (p *Processor) queryWithGraph(ec *exec.Context, q *grn.Graph, st *Stats) ([
 		st.Traversal = time.Since(tStart)
 		tr.Record(obs.StageTraverse, tStart, st.Traversal, st.NodePairsVisited, len(pairs))
 		fStart := time.Now()
-		sources = collectSources(pairs, st)
+		sources = collectSources(queryScratchFor(ec), pairs, st)
 		tr.Record(obs.StageFilter, fStart, time.Since(fStart), len(pairs), st.CandidateMatrices)
 	}
 
@@ -488,22 +513,30 @@ func (p *Processor) rootAdmissible(root *rstar.Node, qVfS, qVfT, qVdS, qVdT *bit
 }
 
 // collectSources reduces candidate pairs to a sorted distinct source list
-// and fills the candidate counters of st.
-func collectSources(pairs []candidatePair, st *Stats) []int {
-	sourceSet := make(map[int]bool)
-	geneSet := make(map[[2]int]bool) // (source, col) distinct vectors
-	for _, c := range pairs {
-		sourceSet[c.source] = true
-		geneSet[[2]int{c.source, c.sCol}] = true
-		geneSet[[2]int{c.source, c.tCol}] = true
+// and fills the candidate counters of st. The dedup maps and the result
+// slice live in the query scratch, cleared per query instead of
+// reallocated.
+func collectSources(qs *queryScratch, pairs []candidatePair, st *Stats) []int {
+	if qs.sourceSet == nil {
+		qs.sourceSet = make(map[int]bool)
+		qs.geneSet = make(map[[2]int]bool) // (source, col) distinct vectors
+	} else {
+		clear(qs.sourceSet)
+		clear(qs.geneSet)
 	}
-	st.CandidateGenes = len(geneSet)
-	st.CandidateMatrices = len(sourceSet)
-	out := make([]int, 0, len(sourceSet))
-	for s := range sourceSet {
+	for _, c := range pairs {
+		qs.sourceSet[c.source] = true
+		qs.geneSet[[2]int{c.source, c.sCol}] = true
+		qs.geneSet[[2]int{c.source, c.tCol}] = true
+	}
+	st.CandidateGenes = len(qs.geneSet)
+	st.CandidateMatrices = len(qs.sourceSet)
+	out := qs.sources[:0]
+	for s := range qs.sourceSet {
 		out = append(out, s)
 	}
 	sort.Ints(out)
+	qs.sources = out
 	return out
 }
 
@@ -545,13 +578,14 @@ func (p *Processor) refine(ec *exec.Context, q *grn.Graph, sources []int, st *St
 		return p.refineParallel(ec, q, sources, st)
 	}
 	qEdges := q.Edges()
+	sc, pr := p.seqScorers()
 	var answers []Answer
-	var bufs colBufs
+	bufs := &queryScratchFor(ec).worker(0).bufs
 	for _, src := range sources {
 		if err := ec.Err(); err != nil {
 			return nil, err
 		}
-		o := p.verifyCandidate(ec.IO(), q, qEdges, src, p.scorer, p.pruner, &bufs)
+		o := p.verifyCandidate(ec.IO(), q, qEdges, src, sc, pr, bufs)
 		st.applyCandidate(o)
 		if o.answer != nil {
 			answers = append(answers, *o.answer)
@@ -563,6 +597,16 @@ func (p *Processor) refine(ec *exec.Context, q *grn.Graph, sources []int, st *St
 // colBufs is the reusable column scratch space of one verification stream.
 type colBufs struct {
 	a, b []float64
+	cols []int // query-vertex → matrix-column mapping scratch
+}
+
+// growCols returns the cols scratch resized to n (contents unspecified).
+func (b *colBufs) growCols(n int) []int {
+	if cap(b.cols) < n {
+		b.cols = make([]int, n)
+	}
+	b.cols = b.cols[:n]
+	return b.cols
 }
 
 // refineStreamed is refinement against a shared top-k sink (params.Sink):
@@ -582,15 +626,13 @@ type colBufs struct {
 func (p *Processor) refineStreamed(ec *exec.Context, q *grn.Graph, sources []int, st *Stats) ([]Answer, error) {
 	sink := p.params.Sink
 	qEdges := q.Edges()
+	qs := queryScratchFor(ec)
+	ws := qs.worker(0)
 
 	mStart := time.Now()
-	type cand struct {
-		src int
-		ub  float64
-	}
-	cands := make([]cand, len(sources))
+	cands := exec.GrowSlice(&qs.cands, len(sources))
 	for i, src := range sources {
-		cands[i] = cand{src: src, ub: p.candidateUpperBound(q, qEdges, src)}
+		cands[i] = streamCand{src: src, ub: p.candidateUpperBound(q, qEdges, src, &ws.bufs)}
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].ub != cands[j].ub {
@@ -601,7 +643,6 @@ func (p *Processor) refineStreamed(ec *exec.Context, q *grn.Graph, sources []int
 	st.MarkovPrune += time.Since(mStart)
 
 	var answers []Answer
-	var bufs colBufs
 	for i, c := range cands {
 		if err := ec.Err(); err != nil {
 			return nil, err
@@ -616,8 +657,8 @@ func (p *Processor) refineStreamed(ec *exec.Context, q *grn.Graph, sources []int
 			st.MatricesPrunedL5 += len(cands) - i
 			break
 		}
-		sc, pr := p.scorerFor(uint64(int64(c.src)))
-		o := p.verifyCandidateAt(ec.IO(), q, qEdges, c.src, sc, pr, &bufs, alpha, true)
+		sc, pr := p.primeScorers(ws, uint64(int64(c.src)))
+		o := p.verifyCandidateAt(ec.IO(), q, qEdges, c.src, sc, pr, &ws.bufs, alpha, true)
 		st.applyCandidate(o)
 		if o.answer != nil {
 			answers = append(answers, *o.answer)
@@ -653,7 +694,7 @@ func (p *Processor) verifyCandidateAt(io pagestore.Toucher, q *grn.Graph, qEdges
 	}
 	// Map query vertices to columns by gene ID (labels are unique within a
 	// matrix, so the embedding is forced).
-	cols := make([]int, q.NumVertices())
+	cols := bufs.growCols(q.NumVertices())
 	for v := 0; v < q.NumVertices(); v++ {
 		c := m.IndexOf(q.Gene(v))
 		if c < 0 {
@@ -690,12 +731,12 @@ func (p *Processor) verifyCandidateAt(io pagestore.Toucher, q *grn.Graph, qEdges
 // of one candidate matrix (no early exit, so candidates are comparable).
 // Returns 1 when the source has no pivot embedding (nothing is provable)
 // and 0 when a query gene is missing from the matrix (cannot match).
-func (p *Processor) candidateUpperBound(q *grn.Graph, qEdges []grn.Edge, src int) float64 {
+func (p *Processor) candidateUpperBound(q *grn.Graph, qEdges []grn.Edge, src int, bufs *colBufs) float64 {
 	m := p.idx.DB().BySource(src)
 	if m == nil {
 		return 0
 	}
-	cols := make([]int, q.NumVertices())
+	cols := bufs.growCols(q.NumVertices())
 	for v := 0; v < q.NumVertices(); v++ {
 		c := m.IndexOf(q.Gene(v))
 		if c < 0 {

@@ -1,6 +1,7 @@
 // Package exec bundles the per-query execution state of one IM-GRN query:
 // the caller's context.Context (cancellation and deadlines), a per-query
-// page-I/O reader, and a bounded worker pool for intra-query parallelism.
+// page-I/O reader, a chunked work-stealing scheduler for intra-query
+// parallelism, and a pooled scratch arena.
 //
 // The IM-GRN_Processing algorithm (paper §5.2) is embarrassingly parallel
 // at the candidate-verification stage: each surviving candidate matrix is
@@ -8,7 +9,8 @@
 // that parallelism safe and deterministic by giving every query its own
 // I/O accountant view (pagestore.Reader) and by addressing randomness per
 // work unit (randgen.SeedFrom) rather than per goroutine, so results never
-// depend on the goroutine schedule.
+// depend on the goroutine schedule — including which worker steals which
+// chunk.
 //
 // A Context may also carry an obs.Tracer (WithTracer) so the query
 // pipeline can record per-stage spans; a nil tracer is the disabled
@@ -17,8 +19,6 @@ package exec
 
 import (
 	"context"
-	"sync"
-	"sync/atomic"
 
 	"github.com/imgrn/imgrn/internal/obs"
 	"github.com/imgrn/imgrn/internal/pagestore"
@@ -32,7 +32,9 @@ type Context struct {
 	ctx     context.Context
 	io      *pagestore.Reader
 	workers int
+	grain   int // default chunk size for ForEach; 0 = automatic
 	trace   *obs.Tracer
+	arena   *Arena
 }
 
 // New returns an execution context. A nil ctx means context.Background();
@@ -63,6 +65,44 @@ func (c *Context) WithTracer(t *obs.Tracer) *Context {
 	return c
 }
 
+// WithGrain sets the context's default scheduling grain — the number of
+// consecutive work units a worker claims per steal — and returns c for
+// chaining. Fan-outs of g or fewer units run inline on the calling
+// goroutine, so tiny candidate sets never pay goroutine or chunk-claim
+// overhead. g <= 0 (the default) selects an automatic grain per fan-out;
+// individual fan-outs can override it via ForEachGrain.
+func (c *Context) WithGrain(g int) *Context {
+	c.grain = g
+	return c
+}
+
+// Grain returns the context's default scheduling grain (0 = automatic).
+func (c *Context) Grain() int { return c.grain }
+
+// WithArena attaches a scratch arena (typically from GrabArena) and
+// returns c for chaining. The arena holds per-query scratch structures
+// that packages along the query path reuse across queries; it must be
+// returned to the pool with Close once the query is finished.
+func (c *Context) WithArena(a *Arena) *Context {
+	c.arena = a
+	return c
+}
+
+// Arena returns the context's scratch arena (nil when none is attached;
+// Arena methods are nil-safe, so callers may use the result directly).
+func (c *Context) Arena() *Arena { return c.arena }
+
+// Close releases the context's pooled resources (the scratch arena, if
+// any) back to their pools. It must be called at most once, after the
+// last use of any scratch obtained through the arena; the Context itself
+// remains usable for non-arena operations.
+func (c *Context) Close() {
+	if c.arena != nil {
+		c.arena.Release()
+		c.arena = nil
+	}
+}
+
 // Tracer returns the query's trace collector (nil when tracing is
 // disabled; all obs.Tracer methods are nil-safe).
 func (c *Context) Tracer() *obs.Tracer { return c.trace }
@@ -85,77 +125,81 @@ func (c *Context) Parallel() bool { return c.workers > 1 }
 func (c *Context) Err() error { return c.ctx.Err() }
 
 // ForEach runs fn(i) for every i in [0, n), fanning the calls out across
-// the context's worker budget. Calls must be independent: fn typically
-// writes its result into slot i of a pre-sized slice, and the caller
-// aggregates the slots in index order afterwards so the outcome is
-// deterministic regardless of scheduling.
+// the context's worker budget with the work-stealing scheduler (see
+// ForEachWorker). Calls must be independent: fn typically writes its
+// result into slot i of a pre-sized slice, and the caller aggregates the
+// slots in index order afterwards so the outcome is deterministic
+// regardless of scheduling.
 //
 // The first error returned by fn stops the fan-out (in-flight calls finish,
 // queued ones are skipped) and is returned. Cancellation of the underlying
-// context is honored between work units and reported as ctx.Err().
+// context is honored between work units and reported as ctx.Err(). A panic
+// in fn on a worker goroutine is re-thrown in the caller as a *ChunkPanic.
 func (c *Context) ForEach(n int, fn func(i int) error) error {
+	return c.ForEachWorker(n, c.grain, func(_, i int) error { return fn(i) })
+}
+
+// ForEachGrain is ForEach with an explicit scheduling grain for this
+// fan-out alone, overriding the context default (see WithGrain).
+func (c *Context) ForEachGrain(n, grain int, fn func(i int) error) error {
+	return c.ForEachWorker(n, grain, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker runs fn(w, i) for every i in [0, n) with the chunked
+// work-stealing scheduler. w identifies the worker slot in [0, Workers())
+// executing the call: calls sharing a w value never run concurrently, so
+// callers can keep per-worker scratch (column buffers, reseedable
+// estimator streams) indexed by w without synchronization. w carries no
+// determinism guarantee — which slot executes which unit depends on the
+// schedule — so per-unit randomness must still be addressed by i (via
+// randgen.SeedFrom), never by w.
+//
+// grain is the number of consecutive units per chunk (<= 0 selects an
+// automatic grain). When n <= grain — or the context is sequential — the
+// whole fan-out runs inline on the calling goroutine as w = 0, in
+// ascending index order, byte-identical to the pre-scheduler sequential
+// loop.
+func (c *Context) ForEachWorker(n, grain int, fn func(w, i int) error) error {
 	if n <= 0 {
 		return c.Err()
 	}
-	workers := c.workers
-	if workers > n {
-		workers = n
+	if grain <= 0 {
+		grain = autoGrain(n, c.workers)
 	}
-	if workers <= 1 {
+	if c.workers <= 1 || n <= grain {
 		for i := 0; i < n; i++ {
 			if err := c.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-
-	var (
-		next    atomic.Int64
-		stopped atomic.Bool
-		errMu   sync.Mutex
-		first   error
-		wg      sync.WaitGroup
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if first == nil {
-			first = err
-		}
-		errMu.Unlock()
-		stopped.Store(true)
-	}
-	done := c.ctx.Done()
-	for g := 0; g < workers; g++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				if stopped.Load() {
-					return
-				}
-				select {
-				case <-done:
-					fail(c.ctx.Err())
-					return
-				default:
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				if err := fn(i); err != nil {
-					fail(err)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	errMu.Lock()
-	defer errMu.Unlock()
-	return first
+	return c.forEachSteal(n, grain, fn)
 }
+
+// autoGrain picks the default chunk size: enough chunks that stealing can
+// balance skewed per-unit cost (stealRatio chunks per worker), but no
+// chunk larger than maxAutoGrain so one oversized claim cannot serialize
+// the tail of a fan-out.
+func autoGrain(n, workers int) int {
+	g := n / (workers * stealRatio)
+	if g < 1 {
+		g = 1
+	}
+	if g > maxAutoGrain {
+		g = maxAutoGrain
+	}
+	return g
+}
+
+const (
+	// stealRatio is the target number of chunks per worker under the
+	// automatic grain: a worker whose units turn out cheap can steal up to
+	// stealRatio-1 times from a loaded sibling before the fan-out drains.
+	stealRatio = 8
+	// maxAutoGrain caps the automatic chunk size.
+	maxAutoGrain = 256
+)

@@ -1,0 +1,198 @@
+package exec
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkPanic wraps a panic that escaped fn on a worker goroutine of a
+// ForEach fan-out. The scheduler recovers it on the worker, cancels the
+// remaining chunks, and re-panics in the calling goroutine with this
+// wrapper so the panic surfaces where the fan-out was requested while
+// preserving the worker's stack.
+type ChunkPanic struct {
+	Value any    // the original panic value
+	Stack []byte // the worker goroutine's stack at the time of the panic
+}
+
+func (p *ChunkPanic) Error() string {
+	return fmt.Sprintf("exec: panic in parallel work unit: %v", p.Value)
+}
+
+// wsDeque is one worker's range of pending chunk indices, packed into a
+// single atomic word: the high 32 bits hold next (the first unclaimed
+// chunk) and the low 32 bits hold limit (one past the last). The owner
+// claims from the front by CAS-ing next+1; a thief claims from the back
+// by CAS-ing limit-1. Because both ends live in one word, every claim is
+// a single compare-and-swap against the full state, so an owner and a
+// thief racing for the final chunk can never both win: whichever CAS
+// lands second sees a changed word and retries against an empty range.
+type wsDeque struct {
+	state atomic.Uint64
+	// pad the deque to its own cache line so claims on one worker's
+	// deque do not false-share with its neighbors'.
+	_ [7]uint64
+}
+
+func packRange(next, limit uint32) uint64 { return uint64(next)<<32 | uint64(limit) }
+
+func unpackRange(s uint64) (next, limit uint32) { return uint32(s >> 32), uint32(s) }
+
+// takeFront claims the owner-side chunk. ok is false when the deque is
+// empty.
+func (d *wsDeque) takeFront() (chunk uint32, ok bool) {
+	for {
+		s := d.state.Load()
+		next, limit := unpackRange(s)
+		if next >= limit {
+			return 0, false
+		}
+		if d.state.CompareAndSwap(s, packRange(next+1, limit)) {
+			return next, true
+		}
+	}
+}
+
+// stealBack claims the thief-side chunk. ok is false when the deque is
+// empty.
+func (d *wsDeque) stealBack() (chunk uint32, ok bool) {
+	for {
+		s := d.state.Load()
+		next, limit := unpackRange(s)
+		if next >= limit {
+			return 0, false
+		}
+		if d.state.CompareAndSwap(s, packRange(next, limit-1)) {
+			return limit - 1, true
+		}
+	}
+}
+
+// forEachSteal is the parallel arm of ForEachWorker: n work units grouped
+// into ceil(n/grain) chunks, dealt round-robin-contiguously across
+// per-worker deques, executed by workers that drain their own deque from
+// the front and steal single chunks from siblings' backs when theirs runs
+// dry.
+//
+// Termination: deques only ever shrink, so once a worker's full steal
+// sweep over every deque finds them all empty, no unclaimed chunk exists
+// anywhere and the worker can exit. Every claimed chunk is either fully
+// executed or abandoned only after stopped is set, and stopped also ends
+// every other worker's claim loop, so the WaitGroup always drains.
+func (c *Context) forEachSteal(n, grain int, fn func(w, i int) error) error {
+	nchunks := (n + grain - 1) / grain
+	workers := c.workers
+	if workers > nchunks {
+		workers = nchunks
+	}
+
+	// Deal chunks as one contiguous range per worker (remainder spread
+	// over the first few), so the common no-steal schedule touches work
+	// units in large ascending runs — friendly to any index-correlated
+	// locality in the caller's data.
+	deques := make([]wsDeque, workers)
+	per, rem := nchunks/workers, nchunks%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + per
+		if w < rem {
+			hi++
+		}
+		deques[w].state.Store(packRange(uint32(lo), uint32(hi)))
+		lo = hi
+	}
+
+	var (
+		stopped  atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		panicked *ChunkPanic
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopped.Store(true)
+	}
+	done := c.ctx.Done()
+
+	runChunk := func(w int, chunk uint32) {
+		start := int(chunk) * grain
+		end := start + grain
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			if stopped.Load() {
+				return
+			}
+			select {
+			case <-done:
+				fail(c.ctx.Err())
+				return
+			default:
+			}
+			if err := fn(w, i); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}
+
+	worker := func(w int) {
+		defer wg.Done()
+		defer func() {
+			if v := recover(); v != nil {
+				cp := &ChunkPanic{Value: v, Stack: debug.Stack()}
+				errMu.Lock()
+				if panicked == nil {
+					panicked = cp
+				}
+				errMu.Unlock()
+				stopped.Store(true)
+			}
+		}()
+		for {
+			if stopped.Load() {
+				return
+			}
+			if chunk, ok := deques[w].takeFront(); ok {
+				runChunk(w, chunk)
+				continue
+			}
+			// Own deque empty: sweep siblings once, stealing one chunk
+			// from the back of the first non-empty deque found.
+			stole := false
+			for off := 1; off < workers; off++ {
+				v := (w + off) % workers
+				if chunk, ok := deques[v].stealBack(); ok {
+					runChunk(w, chunk)
+					stole = true
+					break
+				}
+			}
+			if !stole {
+				// Every deque was observed empty and deques never grow:
+				// all chunks are claimed, nothing left to do.
+				return
+			}
+		}
+	}
+
+	wg.Add(workers)
+	for w := 1; w < workers; w++ {
+		go worker(w)
+	}
+	worker(0) // the caller participates as worker 0
+	wg.Wait()
+
+	if panicked != nil {
+		panic(panicked)
+	}
+	return firstErr
+}

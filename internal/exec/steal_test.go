@@ -1,0 +1,268 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachWorkerSlotExclusive checks the per-worker-slot contract:
+// calls sharing a w value never run concurrently, so w-indexed scratch
+// needs no locking.
+func TestForEachWorkerSlotExclusive(t *testing.T) {
+	const workers, n = 4, 200
+	var active [workers]atomic.Int32
+	ec := New(context.Background(), nil, workers)
+	err := ec.ForEachWorker(n, 1, func(w, i int) error {
+		if c := active[w].Add(1); c != 1 {
+			t.Errorf("worker slot %d: %d concurrent calls", w, c)
+		}
+		time.Sleep(50 * time.Microsecond)
+		active[w].Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForEachSmallNStaysSequential checks the Grain knob's main promise:
+// a fan-out no larger than the grain runs inline on the calling
+// goroutine, in ascending order, as worker slot 0.
+func TestForEachSmallNStaysSequential(t *testing.T) {
+	ec := New(context.Background(), nil, 8).WithGrain(64)
+	if got := ec.Grain(); got != 64 {
+		t.Fatalf("Grain() = %d, want 64", got)
+	}
+	var order []int // unsynchronized on purpose: -race flags any fan-out
+	err := ec.ForEachWorker(50, ec.Grain(), func(w, i int) error {
+		if w != 0 {
+			t.Errorf("inline run used worker slot %d", w)
+		}
+		order = append(order, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 50 {
+		t.Fatalf("visited %d of 50 indices", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d; inline run must be ascending", i, got)
+		}
+	}
+}
+
+// TestForEachGrainEdgeCases covers the degenerate fan-out shapes: no work,
+// a single unit, and fewer units than workers.
+func TestForEachGrainEdgeCases(t *testing.T) {
+	ec := New(context.Background(), nil, 8)
+	if err := ec.ForEach(0, func(int) error {
+		t.Error("fn called for n = 0")
+		return nil
+	}); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	for _, n := range []int{1, 3, 7} { // all < workers
+		var seen [8]atomic.Int32
+		if err := ec.ForEachGrain(n, 1, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, got)
+			}
+		}
+	}
+}
+
+func TestAutoGrainClamps(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{10, 4, 1},        // tiny fan-out: floor at 1
+		{64, 8, 1},        // exactly stealRatio chunks per worker
+		{1 << 20, 4, 256}, // huge fan-out: capped at maxAutoGrain
+		{1000, 4, 31},     // in between: n / (workers · stealRatio)
+	}
+	for _, c := range cases {
+		if got := autoGrain(c.n, c.workers); got != c.want {
+			t.Errorf("autoGrain(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestForEachStealingVisitsEveryIndexOnce forces heavy stealing (grain 1,
+// skewed per-unit cost) and checks that every index runs exactly once and
+// lands its result in its own slot. Run under -race this doubles as the
+// scheduler's data-race check.
+func TestForEachStealingVisitsEveryIndexOnce(t *testing.T) {
+	const workers, n = 8, 400
+	var seen [n]atomic.Int32
+	out := make([]int, n)
+	ec := New(context.Background(), nil, workers)
+	err := ec.ForEachWorker(n, 1, func(w, i int) error {
+		seen[i].Add(1)
+		if i%workers == 0 { // skew: one unit in eight is slow
+			time.Sleep(100 * time.Microsecond)
+		}
+		out[i] = i * i
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("index %d visited %d times", i, got)
+		}
+		if out[i] != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i*i)
+		}
+	}
+}
+
+// TestForEachPanicPropagates checks that a panic on a worker goroutine —
+// here from a chunk stolen off another worker's deque — resurfaces in the
+// caller as a *ChunkPanic carrying the original value and worker stack.
+func TestForEachPanicPropagates(t *testing.T) {
+	// workers=2, grain=1, n=4: worker 0 owns chunks {0,1}, worker 1 owns
+	// {2,3}. Unit 0 is slow, units 2 and 3 are instant, so worker 1 drains
+	// its own deque and steals unit 1 — the back of worker 0's — which
+	// panics on whichever goroutine runs it.
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic in work unit did not propagate")
+		}
+		cp, ok := v.(*ChunkPanic)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want *ChunkPanic", v, v)
+		}
+		if cp.Value != "boom in stolen chunk" {
+			t.Fatalf("ChunkPanic.Value = %v", cp.Value)
+		}
+		if len(cp.Stack) == 0 {
+			t.Fatal("ChunkPanic.Stack is empty")
+		}
+		if cp.Error() == "" {
+			t.Fatal("ChunkPanic.Error is empty")
+		}
+	}()
+	ec := New(context.Background(), nil, 2)
+	_ = ec.ForEachWorker(4, 1, func(w, i int) error {
+		switch i {
+		case 0:
+			time.Sleep(50 * time.Millisecond)
+		case 1:
+			panic("boom in stolen chunk")
+		}
+		return nil
+	})
+	t.Fatal("ForEachWorker returned instead of panicking")
+}
+
+// TestForEachCancelMidSteal cancels the context while workers are deep in
+// a steal-heavy fan-out and checks that the cancellation is honored
+// between work units and reported as the context error.
+func TestForEachCancelMidSteal(t *testing.T) {
+	const workers, n = 4, 1000
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ec := New(ctx, nil, workers)
+	var calls atomic.Int32
+	var once sync.Once
+	err := ec.ForEachWorker(n, 1, func(w, i int) error {
+		c := calls.Add(1)
+		if i%3 == 0 {
+			time.Sleep(20 * time.Microsecond) // skew to keep thieves busy
+		}
+		if c == 40 {
+			once.Do(cancel)
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := calls.Load(); c >= n {
+		t.Fatalf("cancellation ignored: all %d units ran", c)
+	}
+}
+
+// TestForEachErrorInStolenChunk mirrors the panic test with an error
+// return: the first error stops the fan-out and is the one reported.
+func TestForEachErrorInStolenChunk(t *testing.T) {
+	boom := errors.New("boom")
+	ec := New(context.Background(), nil, 2)
+	err := ec.ForEachWorker(4, 1, func(w, i int) error {
+		switch i {
+		case 0:
+			time.Sleep(50 * time.Millisecond)
+		case 1:
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestWsDequeClaims(t *testing.T) {
+	var d wsDeque
+	d.state.Store(packRange(3, 6)) // chunks {3, 4, 5}
+	if c, ok := d.takeFront(); !ok || c != 3 {
+		t.Fatalf("takeFront = %d, %v; want 3, true", c, ok)
+	}
+	if c, ok := d.stealBack(); !ok || c != 5 {
+		t.Fatalf("stealBack = %d, %v; want 5, true", c, ok)
+	}
+	if c, ok := d.takeFront(); !ok || c != 4 {
+		t.Fatalf("takeFront = %d, %v; want 4, true", c, ok)
+	}
+	if _, ok := d.takeFront(); ok {
+		t.Fatal("takeFront on empty deque succeeded")
+	}
+	if _, ok := d.stealBack(); ok {
+		t.Fatal("stealBack on empty deque succeeded")
+	}
+}
+
+func TestArenaSlotRoundTrip(t *testing.T) {
+	a := GrabArena()
+	if got := a.Slot(ArenaQueryScratch); got != nil {
+		// A pooled arena may legitimately carry scratch from an earlier
+		// query; clear it so the round-trip below starts clean.
+		a.SetSlot(ArenaQueryScratch, nil)
+	}
+	type scratch struct{ buf []int }
+	s := &scratch{buf: make([]int, 8)}
+	a.SetSlot(ArenaQueryScratch, s)
+	if got := a.Slot(ArenaQueryScratch); got != any(s) {
+		t.Fatalf("Slot returned %v, want the stored scratch", got)
+	}
+	ec := New(context.Background(), nil, 1).WithArena(a)
+	if ec.Arena() != a {
+		t.Fatal("WithArena did not attach the arena")
+	}
+	ec.Close()
+	if ec.Arena() != nil {
+		t.Fatal("Close did not detach the arena")
+	}
+	ec.Close() // second Close must be a no-op
+
+	// Nil-safety: a nil arena ignores stores and returns nothing.
+	var nilArena *Arena
+	nilArena.SetSlot(ArenaQueryScratch, s)
+	if got := nilArena.Slot(ArenaQueryScratch); got != nil {
+		t.Fatalf("nil arena Slot = %v, want nil", got)
+	}
+	nilArena.Release()
+}

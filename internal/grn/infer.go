@@ -84,13 +84,24 @@ type Pruner struct {
 	cols  [][]float64     // UpperBoundColumn source-column scratch
 }
 
+// DefaultBoundSamples is the bound sample count used when callers pass
+// samples <= 0: estimating the E(Z) mean needs far fewer draws than the
+// tail probability it bounds.
+const DefaultBoundSamples = 16
+
 // NewPruner returns a Pruner with the given seed and bound sample count
-// (16 when samples <= 0).
+// (DefaultBoundSamples when samples <= 0).
 func NewPruner(seed uint64, samples int) *Pruner {
 	if samples <= 0 {
-		samples = 16
+		samples = DefaultBoundSamples
 	}
 	return &Pruner{Est: stats.NewEstimator(seed), BoundSamples: samples}
+}
+
+// Reseed resets the pruner's estimator stream in place to the state a
+// fresh NewPruner(seed, ·) would hold; see RandomizedScorer.Reseed.
+func (p *Pruner) Reseed(seed uint64) {
+	p.Est.Reseed(seed)
 }
 
 // UpperBound returns ub_P(e_{s,t}) of Lemma 4: E(Z)/dist(Xs, Xt), clamped

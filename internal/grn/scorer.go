@@ -61,6 +61,14 @@ func NewRandomizedScorer(seed uint64, samples int) *RandomizedScorer {
 	return &RandomizedScorer{Est: stats.NewEstimator(seed), Samples: samples, Batch: true}
 }
 
+// Reseed resets the scorer's estimator stream in place to the state a
+// fresh NewRandomizedScorer(seed, ·) would hold, keeping the batch and
+// column scratch warm. All scratch is refilled before it is read, so a
+// reseeded scorer draws exactly the stream a newly constructed one would.
+func (s *RandomizedScorer) Reseed(seed uint64) {
+	s.Est.Reseed(seed)
+}
+
 // Name implements Scorer.
 func (s *RandomizedScorer) Name() string { return "IM-GRN" }
 

@@ -26,6 +26,15 @@ type Rand struct {
 // seeds still produce well-separated state.
 func New(seed uint64) *Rand {
 	var r Rand
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets r in place to the exact state New(seed) would return,
+// including the cached Box–Muller Gaussian. It lets hot loops that need a
+// fresh deterministic stream per work unit (e.g. per-candidate refinement
+// scorers) reuse one generator instead of allocating a new one each time.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
@@ -38,7 +47,8 @@ func New(seed uint64) *Rand {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &r
+	r.gauss = 0
+	r.hasGauss = false
 }
 
 // Split derives an independent generator from r, advancing r. It is the

@@ -3,7 +3,6 @@ package shard
 import (
 	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/imgrn/imgrn/internal/core"
@@ -100,7 +99,7 @@ func (c *Coordinator) QueryTopKContext(ctx context.Context, mq *gene.Matrix, par
 		}
 		mark := params.Trace.Start(obs.StageTopK)
 		in := len(answers)
-		rankAnswers(answers)
+		core.RankAnswers(answers)
 		if k > 0 && len(answers) > k {
 			answers = answers[:k]
 		}
@@ -201,36 +200,73 @@ func (c *Coordinator) inferOnce(ctx context.Context, mq *gene.Matrix, params cor
 	return q, st, nil
 }
 
+// scatterScratch is internal/shard's compartment of the exec.Arena: the
+// flat per-shard slices of one scatter, recycled across queries. Only
+// state consumed before the arena is released may live here — the
+// per-shard Stats escape to the caller, so they are NOT pooled.
+type scatterScratch struct {
+	runs  [][]core.Answer
+	procs []*core.Processor
+}
+
+// scatterScratchFor returns the scatter's pooled scratch, creating and
+// registering it in the arena on first use.
+func scatterScratchFor(ec *exec.Context) *scatterScratch {
+	a := ec.Arena()
+	if ss, ok := a.Slot(exec.ArenaScatterScratch).(*scatterScratch); ok {
+		return ss
+	}
+	ss := &scatterScratch{}
+	a.SetSlot(exec.ArenaScatterScratch, ss)
+	return ss
+}
+
 // scatter fans the query graph out over all shards and merges the
 // per-shard answers: the full sorted union when sink is nil, the sink's
 // ranked top-k otherwise.
+//
+// The shared prologue runs once, sequentially, before the fan-out:
+// parameter validation, the per-shard params rewrite (derived seed, sink,
+// cache handle — cacheFor contends on the shard's cache mutex, so
+// serializing it here keeps the mutex out of the parallel phase), and
+// processor construction. The workers then only take the shard read lock
+// and run the query.
 func (c *Coordinator) scatter(ctx context.Context, q *grn.Graph, params core.Params, sink *core.TopKSink) ([]core.Answer, []core.Stats, error) {
 	sStart := time.Now()
 	scatterCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	ec := exec.New(scatterCtx, nil, c.opts.Workers)
+	ec := exec.New(scatterCtx, nil, c.opts.Workers).
+		WithGrain(params.Grain).
+		WithArena(exec.GrabArena())
+	defer ec.Close()
 
-	answers := make([][]core.Answer, len(c.shards))
-	stats := make([]core.Stats, len(c.shards))
-	err := ec.ForEach(len(c.shards), func(i int) error {
-		s := c.shards[i]
+	ss := scatterScratchFor(ec)
+	runs := exec.GrowSlice(&ss.runs, len(c.shards))
+	procs := exec.GrowSlice(&ss.procs, len(c.shards))
+	stats := make([]core.Stats, len(c.shards)) // escapes to the caller
+
+	for i, s := range c.shards {
 		sp := params
 		sp.Seed = randgen.SeedFrom(params.Seed, uint64(i))
 		sp.Sink = sink
-		s.mu.RLock()
 		sp.Cache = s.cacheFor(sp)
 		proc, perr := core.NewProcessor(s.idx, sp)
 		if perr != nil {
-			s.mu.RUnlock()
-			return perr
+			return nil, nil, perr
 		}
-		ans, sst, qerr := proc.QueryGraphContext(scatterCtx, q)
+		procs[i] = proc
+	}
+
+	err := ec.ForEach(len(c.shards), func(i int) error {
+		s := c.shards[i]
+		s.mu.RLock()
+		ans, sst, qerr := procs[i].QueryGraphContext(scatterCtx, q)
 		s.mu.RUnlock()
 		if qerr != nil {
 			return fmt.Errorf("shard %d: %w", i, qerr)
 		}
 		s.recordQuery(sst)
-		answers[i] = ans
+		runs[i] = ans
 		stats[i] = sst
 		return nil
 	})
@@ -238,7 +274,7 @@ func (c *Coordinator) scatter(ctx context.Context, q *grn.Graph, params core.Par
 		return nil, nil, err
 	}
 	produced := 0
-	for _, a := range answers {
+	for _, a := range runs {
 		produced += len(a)
 	}
 	params.Trace.Record(obs.StageScatter, sStart, time.Since(sStart), len(c.shards), produced)
@@ -248,27 +284,14 @@ func (c *Coordinator) scatter(ctx context.Context, q *grn.Graph, params core.Par
 	if sink != nil {
 		merged = sink.Results()
 	} else {
-		merged = make([]core.Answer, 0, produced)
-		for _, a := range answers {
-			merged = append(merged, a...)
-		}
 		// Placement partitions the sources, so the union has no duplicates;
-		// source order matches the unsharded engine's answer order.
-		sort.Slice(merged, func(i, j int) bool { return merged[i].Source < merged[j].Source })
+		// each run is already Source-ascending, and the streaming k-way
+		// merge preserves that order — matching the unsharded engine's
+		// answer order without re-sorting the union.
+		merged = core.MergeAnswerRuns(runs)
 	}
 	params.Trace.Record(obs.StageMerge, mStart, time.Since(mStart), produced, len(merged))
 	return merged, stats, nil
-}
-
-// rankAnswers orders answers by probability descending, ties toward
-// smaller source IDs — the top-k ranking.
-func rankAnswers(answers []core.Answer) {
-	sort.SliceStable(answers, func(i, j int) bool {
-		if answers[i].Prob != answers[j].Prob {
-			return answers[i].Prob > answers[j].Prob
-		}
-		return answers[i].Source < answers[j].Source
-	})
 }
 
 // mergeScatterStats folds the per-shard stats of one scatter into the

@@ -71,6 +71,16 @@ func (e *Estimator) Split() *Estimator {
 	return &Estimator{rng: e.rng.Split()}
 }
 
+// Reseed resets the estimator's generator in place to the state a fresh
+// NewEstimator(seed) would hold, keeping the scratch arena warm. Every
+// estimation entry point fills its scratch before reading it, so a reseeded
+// estimator is observationally identical to a new one — the mechanism that
+// lets refinement reuse one estimator across per-candidate streams without
+// reallocating.
+func (e *Estimator) Reseed(seed uint64) {
+	e.rng.Reseed(seed)
+}
+
 // EdgeProbability estimates the edge existence probability of Eq. (1),
 // reduced per Lemma 1 to the Euclidean form of Eq. (4):
 //

@@ -12,9 +12,12 @@ import (
 )
 
 // shardBench is the Fig. 5-style large-N workload shared by the sharded
-// scatter-gather sweep: a 200-source database over a small gene pool, so
-// queries touch candidates on every shard (~140 candidate matrices per
-// query), plus a fixed extracted query set.
+// scatter-gather sweep: an 800-source database over a small gene pool, so
+// queries touch candidates on every shard (several hundred candidate
+// matrices per query), plus a fixed extracted query set. N is large enough
+// that the superlinear pairwise R*-tree traversal dominates: splitting the
+// sources across P smaller per-shard trees is an algorithmic win even on a
+// single-core host, which is what the scaling gate below relies on.
 type shardBench struct {
 	db      *imgrn.Database
 	queries []*gene.Matrix
@@ -23,7 +26,7 @@ type shardBench struct {
 func setupShardBench(tb testing.TB) *shardBench {
 	tb.Helper()
 	ds, err := synth.GenerateDatabase(synth.DBParams{
-		N: 200, NMin: 20, NMax: 40, LMin: 10, LMax: 20,
+		N: 800, NMin: 20, NMax: 40, LMin: 10, LMax: 20,
 		Dist: synth.Uniform, GenePool: 40, Seed: 33,
 	})
 	if err != nil {
@@ -69,11 +72,12 @@ func shardBenchQuery(tb testing.TB, eng *imgrn.Engine, sb *shardBench, i int) im
 
 // BenchmarkShardQuery sweeps the shard count over the Fig. 5 large-N
 // workload (`make bench-shard` -> BENCH_shard.json). Each P>1 sub-run
-// reports its wall-clock speedup over the P=1 sub-run (bounded by
-// GOMAXPROCS; ~1.0 on a single-core host, where smaller per-shard
-// R*-trees offset the scatter overhead) and the aggregate simulated page
-// I/O per query, which grows mildly with P because every shard's tree is
-// traversed.
+// reports its wall-clock speedup over the P=1 sub-run (at N=800 the
+// smaller per-shard R*-trees beat the single tree even on a single-core
+// host; multicore hosts add parallel scatter on top) and the aggregate
+// simulated page I/O per query, which grows mildly with P because every
+// shard's tree is traversed. allocs/op across the sweep tracks the arena
+// scratch reuse: P=8 must not balloon allocations over P=1.
 func BenchmarkShardQuery(b *testing.B) {
 	sb := setupShardBench(b)
 	var p1NsPerOp float64
@@ -100,10 +104,19 @@ func BenchmarkShardQuery(b *testing.B) {
 }
 
 // TestShardScalingGate is the CI benchmark gate for the sharding
-// subsystem (`make bench-shard-smoke`): on the large-N workload a P=4
-// scatter-gather must never be slower than the P=1 engine. Gated behind
-// BENCH_SHARD=1 so ordinary `go test` runs — and loaded CI machines
-// running the race detector — never flake on timing.
+// subsystem (`make bench-shard-smoke`). On the N=800 workload it enforces
+// two ratios:
+//
+//   - time: P=4 must be at least 1.5x faster than P=1. At this N the win
+//     is algorithmic (P smaller R*-trees cut the superlinear pairwise
+//     traversal), so the bar holds even on a single-core runner; idle
+//     multicore hosts clear it with a wide margin.
+//   - allocations: P=8 allocs/op must stay within 1.1x of P=1, pinning
+//     the arena scratch reuse — before the per-query arenas, fan-out
+//     setup made allocations grow with P.
+//
+// Gated behind BENCH_SHARD=1 so ordinary `go test` runs — and loaded CI
+// machines running the race detector — never flake on timing.
 func TestShardScalingGate(t *testing.T) {
 	if os.Getenv("BENCH_SHARD") != "1" {
 		t.Skip("set BENCH_SHARD=1 to run the shard scaling gate")
@@ -113,6 +126,7 @@ func TestShardScalingGate(t *testing.T) {
 		eng := openShardBench(t, sb, p)
 		i := 0
 		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
 			for n := 0; n < b.N; n++ {
 				shardBenchQuery(b, eng, sb, i)
 				i++
@@ -121,13 +135,16 @@ func TestShardScalingGate(t *testing.T) {
 	}
 	p1 := run(1)
 	p4 := run(4)
-	t.Logf("P=1 %v ns/op, P=4 %v ns/op (%.2fx)", p1.NsPerOp(), p4.NsPerOp(),
-		float64(p1.NsPerOp())/float64(p4.NsPerOp()))
-	// The sweep targets near-linear scaling on idle multicore hosts; the
-	// gate only guards against sharding being a pessimization, with 20%
-	// headroom for noisy shared runners.
-	if float64(p4.NsPerOp()) > 1.2*float64(p1.NsPerOp()) {
-		t.Errorf("P=4 scatter-gather slower than P=1: %v ns/op vs %v ns/op",
-			p4.NsPerOp(), p1.NsPerOp())
+	p8 := run(8)
+	t.Logf("P=1 %v ns/op %v allocs/op, P=4 %v ns/op (%.2fx), P=8 %v ns/op %v allocs/op",
+		p1.NsPerOp(), p1.AllocsPerOp(), p4.NsPerOp(),
+		float64(p1.NsPerOp())/float64(p4.NsPerOp()), p8.NsPerOp(), p8.AllocsPerOp())
+	if float64(p4.NsPerOp()) > float64(p1.NsPerOp())/1.5 {
+		t.Errorf("P=4 scatter-gather under 1.5x speedup over P=1: %v ns/op vs %v ns/op (%.2fx)",
+			p4.NsPerOp(), p1.NsPerOp(), float64(p1.NsPerOp())/float64(p4.NsPerOp()))
+	}
+	if float64(p8.AllocsPerOp()) > 1.1*float64(p1.AllocsPerOp()) {
+		t.Errorf("P=8 allocations outgrew P=1 by more than 10%%: %d allocs/op vs %d allocs/op",
+			p8.AllocsPerOp(), p1.AllocsPerOp())
 	}
 }
