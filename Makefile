@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke experiments experiments-full fmt fmt-check vet metrics-smoke clean
+.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke experiments experiments-full fmt fmt-check vet metrics-smoke persist-smoke clean
 
 all: build test
 
@@ -76,6 +76,12 @@ vet:
 # family assertions, slow-query log (see scripts/metrics_smoke.sh).
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
+
+# End-to-end crash-durability smoke test: durable server, mutation storm,
+# kill -9, warm restart, byte-identical answers, no re-embedding (see
+# scripts/persist_smoke.sh and DESIGN.md §12).
+persist-smoke:
+	sh scripts/persist_smoke.sh
 
 clean:
 	rm -f cover.out

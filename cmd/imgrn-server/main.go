@@ -7,6 +7,16 @@
 //
 //	imgrn-server -db db.imgrn -addr :8080
 //	imgrn-server -db db.imgrn -index idx.imgrn   # reuse a saved index
+//	imgrn-server -db db.imgrn -data-dir ./data   # durable: WAL + snapshots
+//
+// With -data-dir the server is durable (DESIGN.md §12): every mutation is
+// fsynced to a per-shard write-ahead log before its HTTP response, the
+// log is folded into crash-safe snapshots on the -checkpoint-bytes /
+// -checkpoint-every thresholds and on clean shutdown, and a restart
+// warm-boots from the snapshots — skipping the Monte Carlo embedding —
+// replaying only the mutations logged since the last checkpoint. On a
+// warm boot -db is optional and ignored; kill -9 loses nothing that was
+// acknowledged.
 //
 // Queries are served concurrently; -max-concurrent sheds excess load with
 // 503, -query-timeout bounds each query, and -workers sets the default
@@ -36,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -59,8 +70,21 @@ func main() {
 		pprofOn       = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowQuery     = flag.Duration("slow-query", 0, "log queries slower than this with their stage breakdown (0 disables)")
 		shards        = flag.Int("shards", 1, "partition the database across this many index shards and query them scatter-gather (1 = unsharded; incompatible with -index)")
+		dataDir       = flag.String("data-dir", "", "durable data directory: WAL every mutation and checkpoint into snapshots; restarts warm-boot from it (incompatible with -index)")
+		ckptBytes     = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint when live WAL segments exceed this many bytes (durable mode; <0 disables the size trigger)")
+		ckptEvery     = flag.Duration("checkpoint-every", 0, "background checkpoint interval while mutations are outstanding (durable mode; 0 = size-triggered and shutdown only)")
 	)
 	flag.Parse()
+
+	if *dataDir != "" {
+		if *idxPath != "" {
+			fatal(fmt.Errorf("-data-dir and -index are mutually exclusive; the data directory holds its own snapshots"))
+		}
+		serveDurable(*dataDir, *dbPath, *shards, *d, *seed, *ckptBytes, *ckptEvery,
+			*addr, *queryTimeout, *maxConcurrent, *workers, *pprofOn, *slowQuery, *drainTimeout)
+		return
+	}
+
 	if *dbPath == "" {
 		fatal(fmt.Errorf("-db is required"))
 	}
@@ -89,7 +113,7 @@ func main() {
 		bs := coord.IndexStats()
 		fmt.Printf("index: built %d shards, %d vectors, %d nodes in %v\n",
 			coord.NumShards(), bs.Vectors, bs.TreeNodes, bs.Elapsed)
-		serve(server.NewSharded(coord, nil), *addr, *queryTimeout, *maxConcurrent,
+		serve(server.NewSharded(coord, nil), nil, *addr, *queryTimeout, *maxConcurrent,
 			*workers, *pprofOn, *slowQuery, *drainTimeout)
 		return
 	}
@@ -118,13 +142,73 @@ func main() {
 		}
 	}
 
-	serve(server.New(idx, nil), *addr, *queryTimeout, *maxConcurrent,
+	serve(server.New(idx, nil), nil, *addr, *queryTimeout, *maxConcurrent,
 		*workers, *pprofOn, *slowQuery, *drainTimeout)
 }
 
+// serveDurable opens (or initializes) the durable store in dataDir and
+// serves over it. A directory holding committed state warm-boots without
+// re-embedding and ignores -db; a fresh directory cold-boots from the
+// -db database and checkpoints it before serving.
+func serveDurable(dataDir, dbPath string, shards, d int, seed uint64,
+	ckptBytes int64, ckptEvery time.Duration, addr string,
+	queryTimeout time.Duration, maxConcurrent, workers int,
+	pprofOn bool, slowQuery, drainTimeout time.Duration) {
+	var db *gene.Database
+	warmPossible := false
+	if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST")); err == nil {
+		warmPossible = true
+	}
+	if !warmPossible {
+		if dbPath == "" {
+			fatal(fmt.Errorf("-db is required to initialize a fresh -data-dir"))
+		}
+		var err error
+		if db, err = gene.LoadDatabase(dbPath); err != nil {
+			fatal(err)
+		}
+		sum := db.Summary()
+		fmt.Printf("database: %d matrices, %d vectors, %d distinct genes\n",
+			sum.Matrices, sum.TotalVectors, sum.DistinctGenes)
+	}
+
+	embedBefore := index.EmbedCalls()
+	st, err := shard.OpenDurable(db, shard.Options{
+		NumShards: shards,
+		Index:     index.Options{D: d, Seed: seed, BufferPages: 1024},
+	}, shard.DurableOptions{
+		Dir:             dataDir,
+		CheckpointBytes: ckptBytes,
+		CheckpointEvery: ckptEvery,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	embedded := index.EmbedCalls() - embedBefore
+	ds := st.DurableStats()
+	n := st.Database().Len()
+	if ds.WarmBoot {
+		// The embedded/n ratio is the warm-boot witness: only mutations
+		// replayed from the WAL re-embed; everything else loads its
+		// vectors from the snapshots.
+		fmt.Printf("store: warm boot gen=%d replayed=%d torn=%dB embedded=%d/%d sources in %v\n",
+			ds.Gen, ds.ReplayedRecords, ds.TornBytes, embedded, n, ds.BootDuration)
+	} else {
+		fmt.Printf("store: cold boot gen=%d embedded=%d/%d sources in %v (checkpointed to %s)\n",
+			ds.Gen, embedded, n, ds.BootDuration, dataDir)
+	}
+	bs := st.IndexStats()
+	fmt.Printf("index: %d shards, %d vectors, %d nodes\n",
+		st.NumShards(), bs.Vectors, bs.TreeNodes)
+	serve(server.NewDurable(st, nil), st, addr, queryTimeout, maxConcurrent,
+		workers, pprofOn, slowQuery, drainTimeout)
+}
+
 // serve configures the HTTP server and runs it until SIGINT/SIGTERM,
-// then drains in-flight requests.
-func serve(h *server.Server, addr string, queryTimeout time.Duration, maxConcurrent,
+// then drains in-flight requests. A non-nil store is closed after the
+// drain — the clean-shutdown checkpoint, so the next boot replays
+// nothing.
+func serve(h *server.Server, st *shard.Store, addr string, queryTimeout time.Duration, maxConcurrent,
 	workers int, pprofOn bool, slowQuery, drainTimeout time.Duration) {
 	h.QueryTimeout = queryTimeout
 	h.MaxConcurrent = maxConcurrent
@@ -163,10 +247,24 @@ func serve(h *server.Server, addr string, queryTimeout time.Duration, maxConcurr
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "imgrn-server: forced shutdown:", err)
 			_ = srv.Close()
+			closeStore(st)
 			os.Exit(1)
 		}
+		closeStore(st)
 		fmt.Println("shutdown complete")
 	}
+}
+
+// closeStore checkpoints and closes a durable store (nil-safe).
+func closeStore(st *shard.Store) {
+	if st == nil {
+		return
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "imgrn-server: closing store:", err)
+		return
+	}
+	fmt.Printf("store: clean shutdown at gen %d\n", st.Gen())
 }
 
 func fatal(err error) {

@@ -36,7 +36,19 @@
 // querying hand-drawn probabilistic patterns (QueryGraph), online growth
 // and shrinkage of the database (AddMatrix / RemoveMatrix), and index
 // persistence (SaveIndex / OpenSaved) so the Monte Carlo embedding phase
-// runs once. GRNDistanceMatrix with ClusterKMedoids/ClusterAgglomerative
+// runs once.
+//
+// # Durable lifecycle
+//
+// OpenDurable opens a crash-safe engine rooted in a data directory:
+// mutations are fsynced to a per-shard write-ahead log before
+// AddMatrix/RemoveMatrix return, Checkpoint (and Close) rotate index
+// snapshots crash-safely, and reopening the same directory warm-boots by
+// replaying the WAL tail over the latest snapshot — re-embedding only the
+// replayed mutations. Acknowledged mutations survive kill -9; see
+// DESIGN.md §12 for the on-disk formats and recovery protocol.
+//
+// GRNDistanceMatrix with ClusterKMedoids/ClusterAgglomerative
 // groups data sources by regulatory structure, and NewCalibratedScorer
 // generalizes the paper's randomization idea to any raw association
 // measure (absolute Pearson, Spearman, mutual information).

@@ -126,6 +126,12 @@ type Engine struct {
 	// operation to the sharded coordinator.
 	coord *shard.Coordinator
 
+	// store, when non-nil, is the durable lifecycle around coord (which
+	// then aliases store.Coordinator): mutations are write-ahead logged
+	// and fsynced before they are acknowledged, and Checkpoint/Close
+	// rotate the log into snapshots. Queries go through coord unchanged.
+	store *shard.Store
+
 	// cacheMu guards the caches map alone; the caches themselves are
 	// internally synchronized. Sharded engines keep caches per shard
 	// inside the coordinator instead.
@@ -203,6 +209,68 @@ func OpenSharded(db *Database, opts IndexOptions, numShards int) (*Engine, error
 		return nil, err
 	}
 	return &Engine{coord: coord}, nil
+}
+
+// DurableOptions configures a durable engine's data directory and
+// checkpoint policy (see OpenDurable).
+type DurableOptions = shard.DurableOptions
+
+// DurableStats reports a durable engine's boot provenance (warm or cold,
+// records replayed, torn bytes truncated) and its WAL/checkpoint
+// counters.
+type DurableStats = shard.DurableStats
+
+// OpenDurable opens a durable sharded engine rooted at dopts.Dir
+// (DESIGN.md §12). When the directory holds committed state the engine
+// warm-boots — per-shard snapshots are loaded, skipping the Monte Carlo
+// embedding, and the write-ahead log is replayed over them — and db is
+// ignored (it may be nil). Otherwise the engine is built from db like
+// OpenSharded and immediately checkpointed, so the state is durable
+// before OpenDurable returns.
+//
+// Every AddMatrix/RemoveMatrix on a durable engine is applied, appended
+// to its shard's WAL and fsynced before the call returns: a mutation
+// that returned nil survives kill -9. The log is folded into fresh
+// snapshots when it exceeds DurableOptions.CheckpointBytes, on the
+// optional CheckpointEvery timer, on Checkpoint, and on Close.
+func OpenDurable(db *Database, opts IndexOptions, numShards int, dopts DurableOptions) (*Engine, error) {
+	st, err := shard.OpenDurable(db, shard.Options{NumShards: numShards, Index: opts}, dopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{coord: st.Coordinator, store: st}, nil
+}
+
+// Durable reports whether the engine has a durable store attached.
+func (e *Engine) Durable() bool { return e.store != nil }
+
+// DurableStats reports the durable store's counters; the zero value for
+// a non-durable engine.
+func (e *Engine) DurableStats() DurableStats {
+	if e.store == nil {
+		return DurableStats{}
+	}
+	return e.store.DurableStats()
+}
+
+// Checkpoint forces a durable engine to fold its write-ahead log into a
+// new snapshot generation now. No-op (nil) on a non-durable engine.
+func (e *Engine) Checkpoint() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Checkpoint()
+}
+
+// Close releases the engine. A durable engine checkpoints outstanding
+// mutations first (so the next boot replays nothing) and closes its log
+// segments; a non-durable engine's Close is a no-op. The engine is
+// unusable for mutations afterwards.
+func (e *Engine) Close() error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Close()
 }
 
 // NumShards reports the engine's shard count (1 for an unsharded engine).
@@ -329,6 +397,9 @@ func (e *Engine) QueryGraphContext(ctx context.Context, q *Graph, params QueryPa
 // immediately queryable, and the grown engine answers exactly like one
 // rebuilt from scratch over the enlarged database.
 func (e *Engine) AddMatrix(m *Matrix) error {
+	if e.store != nil {
+		return e.store.AddMatrix(m)
+	}
 	if e.coord != nil {
 		return e.coord.AddMatrix(m)
 	}
@@ -343,6 +414,9 @@ func (e *Engine) AddMatrix(m *Matrix) error {
 
 // RemoveMatrix drops a data source from the engine and its database.
 func (e *Engine) RemoveMatrix(source int) error {
+	if e.store != nil {
+		return e.store.RemoveMatrix(source)
+	}
 	if e.coord != nil {
 		return e.coord.RemoveMatrix(source)
 	}

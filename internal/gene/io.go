@@ -42,6 +42,16 @@ func WriteDatabase(w io.Writer, d *Database) error {
 	return bw.Flush()
 }
 
+// WriteMatrix serializes one matrix in the IMGRNDB1 per-matrix framing
+// (source int64, genes uint32, samples uint32, ids int32×n, raw columns
+// float64×n×l). It is the unit of the database format above and of the
+// mutation WAL records in internal/wal.
+func WriteMatrix(w io.Writer, m *Matrix) error { return writeMatrix(w, m) }
+
+// ReadMatrix deserializes one matrix written by WriteMatrix, applying the
+// same corrupt-header sanity caps as ReadDatabase.
+func ReadMatrix(r io.Reader) (*Matrix, error) { return readMatrix(r) }
+
 func writeMatrix(w io.Writer, m *Matrix) error {
 	hdr := struct {
 		Source  int64

@@ -4,12 +4,25 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/pivot"
 	"github.com/imgrn/imgrn/internal/randgen"
 	"github.com/imgrn/imgrn/internal/stats"
 )
+
+// embedCalls counts Monte Carlo matrix embeddings performed by this
+// process. The Monte Carlo embedding is the expensive part of index
+// construction — it is exactly what snapshots exist to avoid repeating —
+// so the counter is the boot-time witness that a warm restart loaded its
+// vectors instead of recomputing them (persist-smoke asserts on it).
+var embedCalls atomic.Uint64
+
+// EmbedCalls reports the process-lifetime count of per-matrix Monte
+// Carlo embeddings (offline builds, online AddMatrix, and WAL replay all
+// count; snapshot loads do not).
+func EmbedCalls() uint64 { return embedCalls.Load() }
 
 // embedResult is the per-matrix product of the offline embedding phase.
 type embedResult struct {
@@ -71,6 +84,7 @@ func embedAll(db *gene.Database, opts Options) ([]embedResult, error) {
 // embedOne selects pivots and embeds one matrix with source-derived
 // deterministic randomness.
 func embedOne(m *gene.Matrix, opts Options) (*pivot.Embedding, float64, error) {
+	embedCalls.Add(1)
 	srcMix := uint64(int64(m.Source))*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
 	rng := randgen.New(opts.Seed ^ srcMix ^ 0x5ee0d1a2c3b4f687)
 	est := stats.NewEstimator(opts.Seed ^ srcMix ^ 0x1d872f3a9cbe5041)

@@ -7,6 +7,26 @@
 // to the signature of the sources containing it. Index nodes and matrix
 // columns are mapped onto simulated disk pages so queries report the I/O
 // cost metric of Section 6.
+//
+// # Persistence
+//
+// Save/Load serialize a built index in the little-endian "IMGRNIX1"
+// format so the Monte Carlo embedding phase runs once. The header after
+// the 8-byte magic is five uint32 structural fields — d (pivots per
+// matrix), bits (signature width B), pageSize, buffer (LRU buffer-pool
+// pages) and maxFill (R*-tree node capacity) — followed by a uint32
+// count of embedded sources; then per source the pivot columns and X/Y
+// embedding coordinates, and finally the flat list of (2d+1)-dim leaf
+// points. Only those five Options fields are structural enough to store:
+// behavioural options (Seed, Samples, Workers, pivot selection) are not
+// in the file, so a loaded index cannot embed new matrices until
+// RestoreOptions reinstalls them — the durable store (internal/shard)
+// persists the full Options in its MANIFEST for exactly this purpose.
+// The R*-tree itself is not stored; it is rebuilt deterministically by
+// bulk-loading the points, and signatures, page mapping and the inverted
+// file are recomputed at load time (all cheap relative to embedding).
+// See persist.go for the byte-level layout and DESIGN.md §12 for the
+// snapshot container that wraps this format.
 package index
 
 import (

@@ -206,6 +206,27 @@ func Load(r io.Reader, db *gene.Database) (*Index, error) {
 	return idx, nil
 }
 
+// RestoreOptions replaces a loaded index's construction options with the
+// full option set persisted by a higher layer (the durable store's
+// manifest). The IMGRNIX1 header stores only the five structural fields
+// (d, bits, pageSize, buffer, maxFill); the estimator fields — Seed,
+// Samples, Selection, RandomPivots — are not in the file, yet online
+// AddMatrix needs them to embed new matrices with the same
+// (Seed, Source)-derived randomness as the original build. The
+// structural fields of opts must match the loaded header.
+func (x *Index) RestoreOptions(opts Options) error {
+	opts = opts.withDefaults()
+	if opts.D != x.opts.D || opts.Bits != x.opts.Bits ||
+		opts.PageSize != x.opts.PageSize || opts.BufferPages != x.opts.BufferPages ||
+		opts.MaxFill != x.opts.MaxFill {
+		return fmt.Errorf("index: restored options (d=%d bits=%d page=%d buf=%d fill=%d) disagree with snapshot header (d=%d bits=%d page=%d buf=%d fill=%d)",
+			opts.D, opts.Bits, opts.PageSize, opts.BufferPages, opts.MaxFill,
+			x.opts.D, x.opts.Bits, x.opts.PageSize, x.opts.BufferPages, x.opts.MaxFill)
+	}
+	x.opts = opts
+	return nil
+}
+
 func readEmbedding(r io.Reader, d int) (int, *pivot.Embedding, error) {
 	var source int64
 	if err := binary.Read(r, binary.LittleEndian, &source); err != nil {

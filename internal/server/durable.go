@@ -1,0 +1,148 @@
+package server
+
+import (
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/obs"
+	"github.com/imgrn/imgrn/internal/shard"
+)
+
+// Durable serving. NewDurable wraps a shard.Store: the read path is the
+// ordinary scatter-gather coordinator, while POST /add-matrix and
+// /remove-matrix route through the store so every acknowledged mutation
+// is in the fsynced write-ahead log before the HTTP 200 leaves the
+// server. Durable servers additionally expose the imgrn_wal_* and
+// imgrn_snapshot_* metric families (refreshed from the store on every
+// /metrics scrape, like the per-shard gauges) and a "durability" block
+// in /stats.
+
+// NewDurable returns a server over a durable store; see NewSharded for
+// the shared behavior.
+func NewDurable(store *shard.Store, cat *gene.Catalog) *Server {
+	s := NewSharded(store.Coordinator, cat)
+	s.store = store
+	s.met.initDurable(s.Metrics)
+	return s
+}
+
+// durableMetrics are scrape-refreshed gauges mirroring
+// shard.DurableStats; registered only on durable servers so non-durable
+// deployments don't expose dead families.
+type durableMetrics struct {
+	walAppends     *obs.Gauge
+	walAppendBytes *obs.Gauge
+	walFsyncs      *obs.Gauge
+	walSegBytes    *obs.Gauge
+	walReplayed    *obs.Gauge
+	walTornBytes   *obs.Gauge
+	snapGen        *obs.Gauge
+	snapCount      *obs.Gauge
+	snapLastMillis *obs.Gauge
+	snapLastBytes  *obs.Gauge
+	snapWarmBoot   *obs.Gauge
+	snapBootMillis *obs.Gauge
+}
+
+func (m *serverMetrics) initDurable(r *obs.Registry) {
+	d := &m.durable
+	d.walAppends = r.Gauge("imgrn_wal_appends_total",
+		"Mutation records appended to the write-ahead log since boot.")
+	d.walAppendBytes = r.Gauge("imgrn_wal_append_bytes_total",
+		"Payload bytes appended to the write-ahead log since boot.")
+	d.walFsyncs = r.Gauge("imgrn_wal_fsyncs_total",
+		"WAL fsyncs issued since boot (one per acknowledged mutation unless fsync is disabled).")
+	d.walSegBytes = r.Gauge("imgrn_wal_segment_bytes",
+		"Total size of the live WAL segments across shards; falls to 0 at each checkpoint.")
+	d.walReplayed = r.Gauge("imgrn_wal_replayed_records",
+		"WAL records replayed over the snapshot at the last boot.")
+	d.walTornBytes = r.Gauge("imgrn_wal_torn_bytes",
+		"Torn-tail bytes truncated from the WAL at the last boot.")
+	d.snapGen = r.Gauge("imgrn_snapshot_generation",
+		"Committed snapshot generation of the durable store.")
+	d.snapCount = r.Gauge("imgrn_snapshot_checkpoints_total",
+		"Checkpoints completed since boot.")
+	d.snapLastMillis = r.Gauge("imgrn_snapshot_last_duration_ms",
+		"Wall-clock duration of the most recent checkpoint in milliseconds.")
+	d.snapLastBytes = r.Gauge("imgrn_snapshot_last_bytes",
+		"Total snapshot bytes written by the most recent checkpoint.")
+	d.snapWarmBoot = r.Gauge("imgrn_snapshot_warm_boot",
+		"1 when this process warm-booted from snapshots, 0 when it built the index from scratch.")
+	d.snapBootMillis = r.Gauge("imgrn_snapshot_boot_duration_ms",
+		"Wall-clock duration of OpenDurable (snapshot load + WAL replay, or full build) in milliseconds.")
+}
+
+// observeDurable refreshes the durability gauges from the store; called
+// on every /metrics scrape of a durable server.
+func (m *serverMetrics) observeDurable(ds shard.DurableStats) {
+	d := &m.durable
+	d.walAppends.Set(int64(ds.WALAppends))
+	d.walAppendBytes.Set(int64(ds.WALAppendBytes))
+	d.walFsyncs.Set(int64(ds.WALFsyncs))
+	d.walSegBytes.Set(ds.WALSegmentBytes)
+	d.walReplayed.Set(int64(ds.ReplayedRecords))
+	d.walTornBytes.Set(ds.TornBytes)
+	d.snapGen.Set(int64(ds.Gen))
+	d.snapCount.Set(int64(ds.Checkpoints))
+	d.snapLastMillis.Set(ds.LastCheckpointDuration.Milliseconds())
+	d.snapLastBytes.Set(ds.LastCheckpointBytes)
+	if ds.WarmBoot {
+		d.snapWarmBoot.Set(1)
+	} else {
+		d.snapWarmBoot.Set(0)
+	}
+	d.snapBootMillis.Set(ds.BootDuration.Milliseconds())
+}
+
+// DurabilityStatsJSON is the /stats "durability" block of a durable
+// server: boot provenance plus WAL and checkpoint counters.
+type DurabilityStatsJSON struct {
+	Dir                string `json:"dir"`
+	Generation         uint64 `json:"generation"`
+	WarmBoot           bool   `json:"warmBoot"`
+	BootMillis         int64  `json:"bootMillis"`
+	ReplayedRecords    int    `json:"replayedRecords"`
+	TornBytes          int64  `json:"tornBytes"`
+	WALAppends         uint64 `json:"walAppends"`
+	WALSegmentBytes    int64  `json:"walSegmentBytes"`
+	Checkpoints        uint64 `json:"checkpoints"`
+	LastCheckpointMs   int64  `json:"lastCheckpointMillis"`
+	LastCheckpointSize int64  `json:"lastCheckpointBytes"`
+}
+
+// durabilityStats builds the /stats block; nil for non-durable servers
+// (the field is omitted from the JSON).
+func (s *Server) durabilityStats() *DurabilityStatsJSON {
+	if s.store == nil {
+		return nil
+	}
+	ds := s.store.DurableStats()
+	return &DurabilityStatsJSON{
+		Dir:                s.store.Dir(),
+		Generation:         ds.Gen,
+		WarmBoot:           ds.WarmBoot,
+		BootMillis:         ds.BootDuration.Milliseconds(),
+		ReplayedRecords:    ds.ReplayedRecords,
+		TornBytes:          ds.TornBytes,
+		WALAppends:         ds.WALAppends,
+		WALSegmentBytes:    ds.WALSegmentBytes,
+		Checkpoints:        ds.Checkpoints,
+		LastCheckpointMs:   ds.LastCheckpointDuration.Milliseconds(),
+		LastCheckpointSize: ds.LastCheckpointBytes,
+	}
+}
+
+// addMatrix routes a mutation through the durable store when one is
+// attached (apply → WAL fsync → ack) and directly to the coordinator
+// otherwise.
+func (s *Server) addMatrix(m *gene.Matrix) error {
+	if s.store != nil {
+		return s.store.AddMatrix(m)
+	}
+	return s.coord.AddMatrix(m)
+}
+
+func (s *Server) removeMatrix(source int) error {
+	if s.store != nil {
+		return s.store.RemoveMatrix(source)
+	}
+	return s.coord.RemoveMatrix(source)
+}

@@ -70,6 +70,10 @@ import (
 // shard its source is placed on.
 type Server struct {
 	coord *shard.Coordinator
+	// store, when non-nil (NewDurable), wraps coord with the durable
+	// lifecycle: mutations route through it so they are write-ahead
+	// logged and fsynced before the response is sent.
+	store *shard.Store
 	cat   *gene.Catalog
 	mux   *http.ServeMux
 
@@ -145,6 +149,10 @@ type serverMetrics struct {
 	shardCacheSize   obs.GaugeVec
 	shardCacheHits   obs.GaugeVec
 	shardCacheMisses obs.GaugeVec
+
+	// durable is populated (initDurable) only on NewDurable servers: the
+	// imgrn_wal_* / imgrn_snapshot_* families, refreshed per scrape.
+	durable durableMetrics
 }
 
 func (m *serverMetrics) init(r *obs.Registry) {
@@ -277,6 +285,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.observeShards(s.coord.Snapshot())
+	if s.store != nil {
+		s.met.observeDurable(s.store.DurableStats())
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.Metrics.WritePrometheus(w)
 }
@@ -359,6 +370,9 @@ type StatsResponse struct {
 	Pivots        int              `json:"pivotsPerMatrix"`
 	NumShards     int              `json:"numShards"`
 	Shards        []ShardStatsJSON `json:"shards"`
+	// Durability is present only on durable servers (NewDurable): boot
+	// provenance plus WAL and checkpoint counters.
+	Durability *DurabilityStatsJSON `json:"durability,omitempty"`
 }
 
 // ShardStatsJSON is one shard's /stats entry: partition size, operation
@@ -409,6 +423,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Pivots:        s.coord.D(),
 		NumShards:     s.coord.NumShards(),
 		Shards:        shards,
+		Durability:    s.durabilityStats(),
 	})
 }
 

@@ -1,0 +1,481 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// Durable-store crash tests are white-box: they use the unexported
+// crash() seam (close file handles, flush nothing, commit nothing) to
+// simulate kill -9, then mangle the data directory the way a real crash
+// would — torn WAL tails, uncommitted snapshot generations, stray temp
+// files — and assert the recovery protocol restores exactly the
+// acknowledged state.
+
+var durOpts = index.Options{D: 2, Samples: 16, Seed: 7, Bits: 256, BufferPages: 64}
+
+// durDataset generates n small matrices; the first built go into the
+// initial build, the rest arrive as online mutations.
+func durDataset(t *testing.T, n int) *synth.Dataset {
+	t.Helper()
+	ds, err := synth.GenerateDatabase(synth.DBParams{
+		N: n, NMin: 8, NMax: 12, LMin: 10, LMax: 14, Seed: 11, Dist: synth.Gaussian,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// splitDataset returns a database holding the first n sources and the
+// remaining matrices as a mutation stream.
+func splitDataset(t *testing.T, ds *synth.Dataset, n int) (*gene.Database, []*gene.Matrix) {
+	t.Helper()
+	db := gene.NewDatabase()
+	for i := 0; i < n; i++ {
+		if err := db.Add(ds.DB.Matrix(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, ds.DB.Matrices()[n:]
+}
+
+func openTestStore(t *testing.T, db *gene.Database, p int, dir string) *Store {
+	t.Helper()
+	st, err := OpenDurable(db, Options{NumShards: p, Index: durOpts},
+		DurableOptions{Dir: dir, DisableFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// durFingerprint renders a query result for exact equality comparison
+// across a crash/reopen boundary.
+func durFingerprint(t *testing.T, c *Coordinator, ds *synth.Dataset) string {
+	t.Helper()
+	params := core.Params{Gamma: 0.5, Alpha: 0.4, Seed: 9, Analytic: true}
+	rng := randgen.New(321)
+	var sb strings.Builder
+	for i := 0; i < 3; i++ {
+		mq, _, err := ds.ExtractQuery(rng, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		answers, _, err := c.QueryContext(context.Background(), mq, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range answers {
+			fmt.Fprintf(&sb, "q%d src=%d prob=%.17g edges=%d\n", i, a.Source, a.Prob, len(a.Edges))
+		}
+	}
+	return sb.String()
+}
+
+func sources(c *Coordinator) map[int]bool {
+	got := make(map[int]bool)
+	for _, m := range c.Database().Matrices() {
+		got[m.Source] = true
+	}
+	return got
+}
+
+// TestDurableCleanShutdownWarmBoot: Close checkpoints, so a reopen warm
+// boots with zero WAL replay, zero re-embeddings, and byte-identical
+// query answers.
+func TestDurableCleanShutdownWarmBoot(t *testing.T) {
+	ds := durDataset(t, 12)
+	db, muts := splitDataset(t, ds, 10)
+	dir := t.TempDir()
+
+	st := openTestStore(t, db, 2, dir)
+	if stats := st.DurableStats(); stats.WarmBoot || stats.Gen != 1 {
+		t.Fatalf("cold boot stats = %+v, want gen 1 cold", stats)
+	}
+	for _, m := range muts {
+		if err := st.AddMatrix(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := durFingerprint(t, st.Coordinator, ds)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := index.EmbedCalls()
+	st2 := openTestStore(t, nil, 2, dir)
+	defer st2.Close()
+	embedded := index.EmbedCalls() - before
+	stats := st2.DurableStats()
+	if !stats.WarmBoot {
+		t.Fatal("expected warm boot")
+	}
+	if stats.ReplayedRecords != 0 {
+		t.Fatalf("clean shutdown replayed %d records, want 0", stats.ReplayedRecords)
+	}
+	if embedded != 0 {
+		t.Fatalf("warm boot after clean shutdown embedded %d matrices, want 0", embedded)
+	}
+	if got := durFingerprint(t, st2.Coordinator, ds); got != want {
+		t.Errorf("answers diverged across clean restart:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDurableCrashRecoversAckedMutations: kill -9 after a mutation storm
+// (adds and a remove, all acknowledged, no checkpoint) must lose
+// nothing; the warm boot re-embeds only the WAL-replayed adds.
+func TestDurableCrashRecoversAckedMutations(t *testing.T) {
+	ds := durDataset(t, 14)
+	db, muts := splitDataset(t, ds, 10)
+	dir := t.TempDir()
+
+	st := openTestStore(t, db, 3, dir)
+	for _, m := range muts {
+		if err := st.AddMatrix(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed := ds.DB.Matrix(2).Source
+	if err := st.RemoveMatrix(removed); err != nil {
+		t.Fatal(err)
+	}
+	wantSources := sources(st.Coordinator)
+	want := durFingerprint(t, st.Coordinator, ds)
+	st.crash()
+
+	before := index.EmbedCalls()
+	st2 := openTestStore(t, nil, 3, dir)
+	defer st2.Close()
+	embedded := index.EmbedCalls() - before
+	stats := st2.DurableStats()
+	if !stats.WarmBoot {
+		t.Fatal("expected warm boot")
+	}
+	if wantRecs := len(muts) + 1; stats.ReplayedRecords != wantRecs {
+		t.Fatalf("replayed %d records, want %d", stats.ReplayedRecords, wantRecs)
+	}
+	if stats.ReplayedAdds != len(muts) {
+		t.Fatalf("replayed %d adds, want %d", stats.ReplayedAdds, len(muts))
+	}
+	if embedded != uint64(len(muts)) {
+		t.Fatalf("warm boot embedded %d matrices, want only the %d replayed adds", embedded, len(muts))
+	}
+	gotSources := sources(st2.Coordinator)
+	if len(gotSources) != len(wantSources) {
+		t.Fatalf("recovered %d sources, want %d", len(gotSources), len(wantSources))
+	}
+	for s := range wantSources {
+		if !gotSources[s] {
+			t.Errorf("acked source %d lost in crash", s)
+		}
+	}
+	if gotSources[removed] {
+		t.Errorf("acked removal of source %d lost in crash", removed)
+	}
+	if got := durFingerprint(t, st2.Coordinator, ds); got != want {
+		t.Errorf("answers diverged across crash:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDurableTornWALEveryOffset is the store-level kill-mid-append
+// property test: a P=1 store's WAL is truncated at EVERY byte offset —
+// every possible torn tail a crash mid-write can leave — and each
+// truncated state must reopen with exactly the complete-frame prefix of
+// mutations (the acknowledged ones) and nothing else.
+func TestDurableTornWALEveryOffset(t *testing.T) {
+	ds := durDataset(t, 9)
+	db, muts := splitDataset(t, ds, 6)
+	base := t.TempDir()
+	dir := filepath.Join(base, "store")
+
+	baseLen := db.Len() // Build adopts db as the global view, so it grows with the store
+	st := openTestStore(t, db, 1, dir)
+	// Record WAL size after each acked mutation: the frame boundaries.
+	var boundaries []int64
+	for _, m := range muts {
+		if err := st.AddMatrix(m); err != nil {
+			t.Fatal(err)
+		}
+		boundaries = append(boundaries, st.wals[0].Size())
+	}
+	walFile := st.wals[0].Path()
+	st.crash()
+	full, err := os.ReadFile(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(boundaries) == 0 || boundaries[len(boundaries)-1] != int64(len(full)) {
+		t.Fatalf("boundary bookkeeping off: %v vs %d bytes", boundaries, len(full))
+	}
+	snapData, err := os.ReadFile(filepath.Join(dir, "shard-000", "snap-00000001.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manData, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ackedAt := func(n int64) int {
+		k := 0
+		for _, b := range boundaries {
+			if b <= n {
+				k++
+			}
+		}
+		return k
+	}
+
+	for n := int64(0); n <= int64(len(full)); n++ {
+		// Rebuild the post-crash directory with the WAL torn at offset n.
+		tdir := filepath.Join(base, fmt.Sprintf("torn-%04d", n))
+		shardDir := filepath.Join(tdir, "shard-000")
+		if err := os.MkdirAll(shardDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(tdir, "MANIFEST"), manData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(shardDir, "snap-00000001.snap"), snapData, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(shardDir, "wal-00000001.log"), full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		st2 := openTestStore(t, nil, 1, tdir)
+		acked := ackedAt(n)
+		stats := st2.DurableStats()
+		if stats.ReplayedRecords != acked {
+			t.Fatalf("offset %d: replayed %d mutations, want %d", n, stats.ReplayedRecords, acked)
+		}
+		if wantTorn := n - func() int64 {
+			var v int64
+			for _, b := range boundaries {
+				if b <= n {
+					v = b
+				}
+			}
+			return v
+		}(); stats.TornBytes != wantTorn {
+			t.Fatalf("offset %d: torn bytes = %d, want %d", n, stats.TornBytes, wantTorn)
+		}
+		if got, want := st2.Database().Len(), baseLen+acked; got != want {
+			t.Fatalf("offset %d: recovered %d sources, want %d", n, got, want)
+		}
+		// The first unacked mutation must be absent, all acked present.
+		for i, m := range muts {
+			if _, ok := st2.Placement(m.Source); ok != (i < acked) {
+				t.Fatalf("offset %d: source %d placed=%v, want %v", n, m.Source, ok, i < acked)
+			}
+		}
+		// The store must accept new mutations after recovery (torn tail
+		// truncated, segment appendable).
+		if acked < len(muts) {
+			if err := st2.AddMatrix(muts[acked]); err != nil {
+				t.Fatalf("offset %d: add after recovery: %v", n, err)
+			}
+		}
+		st2.crash()
+		os.RemoveAll(tdir)
+	}
+}
+
+// TestDurableInterruptedCheckpoint walks the directory states a crash
+// can leave at each phase of a checkpoint and asserts recovery lands on
+// the committed generation every time.
+func TestDurableInterruptedCheckpoint(t *testing.T) {
+	ds := durDataset(t, 10)
+	db, muts := splitDataset(t, ds, 8)
+	dir := t.TempDir()
+	st := openTestStore(t, db, 2, dir)
+	for _, m := range muts {
+		if err := st.AddMatrix(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := durFingerprint(t, st.Coordinator, ds)
+	wantSources := sources(st.Coordinator)
+	st.crash()
+
+	shard0 := filepath.Join(dir, "shard-000")
+	snap1, err := os.ReadFile(filepath.Join(shard0, "snap-00000001.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase-1 crash: a temp snapshot mid-write and a complete-but-
+	// uncommitted gen-2 snapshot exist; MANIFEST still names gen 1.
+	// Recovery must delete both and replay gen 1 + WAL.
+	if err := os.WriteFile(filepath.Join(shard0, "snap-00000002.snap.tmp"), snap1[:len(snap1)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(shard0, "snap-00000002.snap"), snap1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openTestStore(t, nil, 2, dir)
+	if got := durFingerprint(t, st2.Coordinator, ds); got != want {
+		t.Errorf("recovery over uncommitted checkpoint diverged:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	for _, stray := range []string{"snap-00000002.snap.tmp", "snap-00000002.snap"} {
+		if _, err := os.Stat(filepath.Join(shard0, stray)); !os.IsNotExist(err) {
+			t.Errorf("uncommitted %s survived recovery", stray)
+		}
+	}
+
+	// Phase-3 crash: commit a real checkpoint (now gen N), then plant a
+	// stale previous-generation snapshot+wal as if cleanup never ran.
+	if err := st2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	gen := st2.Gen()
+	st2.crash()
+	staleSnap := filepath.Join(shard0, fmt.Sprintf("snap-%08d.snap", gen-1))
+	staleWAL := filepath.Join(shard0, fmt.Sprintf("wal-%08d.log", gen-1))
+	if err := os.WriteFile(staleSnap, snap1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(staleWAL, []byte("garbage that must never be replayed"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st3 := openTestStore(t, nil, 2, dir)
+	defer st3.Close()
+	stats := st3.DurableStats()
+	if stats.Gen != gen || stats.ReplayedRecords != 0 {
+		t.Fatalf("post-checkpoint recovery stats = %+v, want gen %d, no replay", stats, gen)
+	}
+	for _, stale := range []string{staleSnap, staleWAL} {
+		if _, err := os.Stat(stale); !os.IsNotExist(err) {
+			t.Errorf("stale generation file %s survived recovery", stale)
+		}
+	}
+	gotSources := sources(st3.Coordinator)
+	if len(gotSources) != len(wantSources) {
+		t.Fatalf("recovered %d sources, want %d", len(gotSources), len(wantSources))
+	}
+	if got := durFingerprint(t, st3.Coordinator, ds); got != want {
+		t.Errorf("answers diverged after checkpoint+stale-file recovery:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDurableCheckpointRotation: an explicit checkpoint bumps the
+// generation, empties the live WAL, and deletes the superseded files.
+func TestDurableCheckpointRotation(t *testing.T) {
+	ds := durDataset(t, 10)
+	db, muts := splitDataset(t, ds, 8)
+	dir := t.TempDir()
+	st := openTestStore(t, db, 2, dir)
+	defer st.Close()
+	for _, m := range muts {
+		if err := st.AddMatrix(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.DurableStats().WALSegmentBytes == 0 {
+		t.Fatal("mutations produced no WAL bytes")
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.DurableStats()
+	if stats.Gen != 2 || stats.Checkpoints != 2 { // cold boot = checkpoint 1
+		t.Fatalf("stats after checkpoint = %+v, want gen 2", stats)
+	}
+	if stats.WALSegmentBytes != 0 {
+		t.Fatalf("live WAL holds %d bytes after checkpoint, want 0", stats.WALSegmentBytes)
+	}
+	for i := 0; i < 2; i++ {
+		sd := shardDirPath(dir, i)
+		if _, err := os.Stat(snapPath(sd, 1)); !os.IsNotExist(err) {
+			t.Errorf("shard %d: superseded gen-1 snapshot not deleted", i)
+		}
+		if _, err := os.Stat(walPath(sd, 1)); !os.IsNotExist(err) {
+			t.Errorf("shard %d: superseded gen-1 WAL not deleted", i)
+		}
+		if _, err := os.Stat(snapPath(sd, 2)); err != nil {
+			t.Errorf("shard %d: gen-2 snapshot missing: %v", i, err)
+		}
+	}
+}
+
+// TestDurableCursorContinuity: round-robin placement must continue the
+// same sequence across a crash — a store that crashed and recovered
+// places future sources exactly like one that never did.
+func TestDurableCursorContinuity(t *testing.T) {
+	ds := durDataset(t, 16)
+	db, muts := splitDataset(t, ds, 9)
+	dirA := t.TempDir()
+	dirB := t.TempDir()
+
+	// Control: no crash.
+	ctl := openTestStore(t, db, 3, dirA)
+	defer ctl.Close()
+	// Crashing store: crash mid-stream, recover, continue.
+	db2, _ := splitDataset(t, ds, 9)
+	cr := openTestStore(t, db2, 3, dirB)
+	for i, m := range muts {
+		if err := ctl.AddMatrix(m); err != nil {
+			t.Fatal(err)
+		}
+		if i == 3 {
+			cr.crash()
+			cr = openTestStore(t, nil, 3, dirB)
+		}
+		if err := cr.AddMatrix(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer cr.Close()
+	for _, m := range ds.DB.Matrices() {
+		wantSh, ok1 := ctl.Placement(m.Source)
+		gotSh, ok2 := cr.Placement(m.Source)
+		if !ok1 || !ok2 || wantSh != gotSh {
+			t.Errorf("source %d: crashed store placed on %d (ok=%v), control on %d (ok=%v)",
+				m.Source, gotSh, ok2, wantSh, ok1)
+		}
+	}
+}
+
+// TestDurableColdBootGuards: refuse a directory that has shard data but
+// no MANIFEST, and refuse a warm boot at the wrong shard count.
+func TestDurableColdBootGuards(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "shard-000"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenDurable(gene.NewDatabase(), Options{NumShards: 1, Index: durOpts},
+		DurableOptions{Dir: dir, DisableFsync: true})
+	if err == nil || !strings.Contains(err.Error(), "MANIFEST") {
+		t.Fatalf("cold boot over orphan shard dirs: err = %v, want MANIFEST refusal", err)
+	}
+
+	ds := durDataset(t, 6)
+	dir2 := t.TempDir()
+	st := openTestStore(t, ds.DB, 2, dir2)
+	st.Close()
+	_, err = OpenDurable(nil, Options{NumShards: 3, Index: durOpts},
+		DurableOptions{Dir: dir2, DisableFsync: true})
+	if err == nil || !strings.Contains(err.Error(), "reshard") {
+		t.Fatalf("warm boot at wrong P: err = %v, want reshard refusal", err)
+	}
+	// NumShards <= 1 adopts the on-disk count.
+	st2, err := OpenDurable(nil, Options{Index: durOpts}, DurableOptions{Dir: dir2, DisableFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.NumShards() != 2 {
+		t.Errorf("adopted %d shards, want on-disk 2", st2.NumShards())
+	}
+}

@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"github.com/imgrn/imgrn/internal/gene"
+)
+
+// Op tags a mutation record.
+type Op uint8
+
+// The mutation operations of the engine's write path. Values are part of
+// the on-disk format and must never be renumbered.
+const (
+	// OpAddMatrix logs an online AddMatrix: the payload carries the full
+	// feature matrix in the IMGRNDB1 per-matrix framing.
+	OpAddMatrix Op = 1
+	// OpRemoveMatrix logs a RemoveMatrix: the payload carries the source ID.
+	OpRemoveMatrix Op = 2
+)
+
+func (op Op) String() string {
+	switch op {
+	case OpAddMatrix:
+		return "add-matrix"
+	case OpRemoveMatrix:
+		return "remove-matrix"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Record is one decoded mutation.
+type Record struct {
+	Op Op
+	// Source is the mutated data source ID (for both operations).
+	Source int
+	// Matrix is the added matrix (OpAddMatrix only).
+	Matrix *gene.Matrix
+}
+
+// Record payload encoding (little-endian), inside the frame of wal.go:
+//
+//	op byte
+//	OpAddMatrix:    matrix block (gene.WriteMatrix: source int64,
+//	                genes uint32, samples uint32, ids int32×n,
+//	                raw columns n×l float64)
+//	OpRemoveMatrix: source int64
+//
+// The add payload stores raw (unstandardized) features like the database
+// format, so replaying an add reconstructs the exact matrix the online
+// mutation indexed and re-derives its embedding from (Seed, Source)
+// alone — a replayed engine answers like the engine that crashed.
+
+// EncodeAddMatrix serializes an AddMatrix mutation payload.
+func EncodeAddMatrix(m *gene.Matrix) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(byte(OpAddMatrix))
+	if err := gene.WriteMatrix(&buf, m); err != nil {
+		return nil, fmt.Errorf("wal: encoding add-matrix: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeRemoveMatrix serializes a RemoveMatrix mutation payload.
+func EncodeRemoveMatrix(source int) []byte {
+	payload := make([]byte, 9)
+	payload[0] = byte(OpRemoveMatrix)
+	binary.LittleEndian.PutUint64(payload[1:], uint64(int64(source)))
+	return payload
+}
+
+// DecodeRecord parses one mutation payload.
+func DecodeRecord(payload []byte) (Record, error) {
+	if len(payload) == 0 {
+		return Record{}, fmt.Errorf("wal: empty record payload")
+	}
+	switch op := Op(payload[0]); op {
+	case OpAddMatrix:
+		m, err := gene.ReadMatrix(bytes.NewReader(payload[1:]))
+		if err != nil {
+			return Record{}, fmt.Errorf("wal: decoding add-matrix: %w", err)
+		}
+		return Record{Op: op, Source: m.Source, Matrix: m}, nil
+	case OpRemoveMatrix:
+		if len(payload) != 9 {
+			return Record{}, fmt.Errorf("wal: remove-matrix payload is %d bytes, want 9", len(payload))
+		}
+		source := int(int64(binary.LittleEndian.Uint64(payload[1:])))
+		return Record{Op: op, Source: source}, nil
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record op %d", payload[0])
+	}
+}

@@ -1,0 +1,264 @@
+// Package wal implements the mutation write-ahead log of the durable
+// engine (DESIGN.md §12): an append-only segment file of length-prefixed,
+// CRC-checksummed records that is fsynced before a mutation is
+// acknowledged and replayed over the latest index snapshot at boot.
+//
+// # Frame format
+//
+// Every record is framed as (little-endian):
+//
+//	size uint32  payload length in bytes (≤ MaxRecord)
+//	crc  uint32  CRC-32C (Castagnoli) of the payload
+//	payload [size]byte
+//
+// The frame carries no sequence numbers: a segment has exactly one
+// writer, records are strictly appended, and the segment's position in
+// the snapshot-generation sequence is carried by its file name (the
+// store layer names segments after the snapshot generation they follow).
+//
+// # Torn-tail recovery
+//
+// A crash can leave a torn tail: a partially written frame, or a frame
+// whose payload bytes never reached the disk. Open replays records from
+// the start of the segment and stops at the first frame that is
+// incomplete, oversized, or fails its checksum; everything from that
+// byte on is truncated before the segment is reopened for appending.
+// Because the file is single-writer append-only, a bad frame can only be
+// the torn tail of the last crashed append — there is nothing valid
+// after it to lose. Records before the tail were fsynced before their
+// mutations were acknowledged, so truncation drops unacked work only.
+//
+// # Durability contract
+//
+// Append returns only after the frame has been written and fsynced (when
+// the writer is opened with sync=true), so a caller that acknowledges a
+// mutation after Append returns can guarantee the mutation survives any
+// later crash. Creating a new segment fsyncs the parent directory so the
+// directory entry itself is durable.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// frameHeaderSize is the fixed per-record overhead: size + crc.
+const frameHeaderSize = 8
+
+// MaxRecord bounds a single record payload (64 MiB). The cap exists so a
+// corrupt length field cannot demand an absurd allocation during
+// recovery; it comfortably holds the largest matrix the server accepts
+// (requests are bounded by MaxBodyBytes, 32 MiB).
+const MaxRecord = 64 << 20
+
+// castagnoli is the CRC-32C table shared by writer and scanner.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer appends framed records to one segment file. It is not safe for
+// concurrent use; the store layer serializes mutations.
+type Writer struct {
+	f    *os.File
+	path string
+	size int64
+	sync bool
+	hdr  [frameHeaderSize]byte
+}
+
+// RecoveryInfo reports what Open found in an existing segment.
+type RecoveryInfo struct {
+	// Records is the number of intact records replayed.
+	Records int
+	// Bytes is the valid prefix length the segment was kept (or truncated) to.
+	Bytes int64
+	// TornBytes is the length of the torn tail that was truncated away
+	// (0 for a cleanly closed segment).
+	TornBytes int64
+	// Created reports that the segment did not exist and was created empty.
+	Created bool
+}
+
+// Open opens the segment at path for appending, creating it (and
+// fsyncing the parent directory) if absent. Every intact record already
+// in the segment is passed to apply in order; a torn tail is truncated.
+// When sync is true every Append fsyncs before returning. A non-nil
+// error from apply aborts recovery and is returned verbatim.
+func Open(path string, sync bool, apply func(payload []byte) error) (*Writer, RecoveryInfo, error) {
+	var info RecoveryInfo
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if os.IsNotExist(err) {
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, info, fmt.Errorf("wal: creating %s: %w", path, err)
+		}
+		info.Created = true
+		if sync {
+			if err := syncDir(filepath.Dir(path)); err != nil {
+				f.Close()
+				return nil, info, err
+			}
+		}
+		return &Writer{f: f, path: path, sync: sync}, info, nil
+	}
+	if err != nil {
+		return nil, info, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	valid, records, scanErr := scan(f, apply)
+	if scanErr != nil {
+		f.Close()
+		return nil, info, scanErr
+	}
+	info.Records = records
+	info.Bytes = valid
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	if end > valid {
+		info.TornBytes = end - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, info, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		if sync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, info, err
+			}
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, info, err
+	}
+	return &Writer{f: f, path: path, size: valid, sync: sync}, info, nil
+}
+
+// scan replays intact records from r (positioned at the start) and
+// returns the byte offset of the valid prefix. Any framing violation —
+// short header, oversized length, short payload, checksum mismatch — is
+// treated as the torn tail and ends the scan without error.
+func scan(r io.ReadSeeker, apply func([]byte) error) (valid int64, records int, err error) {
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	var hdr [frameHeaderSize]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return valid, records, nil // clean EOF or torn header
+		}
+		size := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if size > MaxRecord {
+			return valid, records, nil
+		}
+		if cap(buf) < int(size) {
+			buf = make([]byte, size)
+		}
+		buf = buf[:size]
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return valid, records, nil // torn payload
+		}
+		if crc32.Checksum(buf, castagnoli) != crc {
+			return valid, records, nil // corrupt tail
+		}
+		if apply != nil {
+			if err := apply(buf); err != nil {
+				return valid, records, fmt.Errorf("wal: applying record %d: %w", records, err)
+			}
+		}
+		valid += frameHeaderSize + int64(size)
+		records++
+	}
+}
+
+// Append writes one framed record and, when the writer is synchronous,
+// fsyncs before returning — the caller may acknowledge the mutation as
+// durable once Append returns nil.
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	binary.LittleEndian.PutUint32(w.hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.hdr[4:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.f.Write(w.hdr[:]); err != nil {
+		return fmt.Errorf("wal: appending to %s: %w", w.path, err)
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: appending to %s: %w", w.path, err)
+	}
+	if w.sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync %s: %w", w.path, err)
+		}
+	}
+	w.size += frameHeaderSize + int64(len(payload))
+	return nil
+}
+
+// Size returns the current segment length in bytes (valid prefix at open
+// plus everything appended since).
+func (w *Writer) Size() int64 { return w.size }
+
+// Path returns the segment file path.
+func (w *Writer) Path() string { return w.path }
+
+// Sync forces an fsync regardless of the writer's sync mode.
+func (w *Writer) Sync() error { return w.f.Sync() }
+
+// Close closes the segment file without an implicit sync (Append already
+// synced every acknowledged record).
+func (w *Writer) Close() error { return w.f.Close() }
+
+// Replay reads the segment at path without opening it for writing,
+// passing every intact record to apply; it reports the intact record
+// count and the torn-tail length without modifying the file. A missing
+// file replays zero records.
+func Replay(path string, apply func(payload []byte) error) (RecoveryInfo, error) {
+	var info RecoveryInfo
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		info.Created = true
+		return info, nil
+	}
+	if err != nil {
+		return info, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	valid, records, err := scan(f, apply)
+	if err != nil {
+		return info, err
+	}
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return info, err
+	}
+	info.Records = records
+	info.Bytes = valid
+	info.TornBytes = end - valid
+	return info, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// SyncDir is syncDir for the store layer: it fsyncs a directory entry
+// after a create or rename, the step that makes snapshot rotation
+// crash-safe.
+func SyncDir(dir string) error { return syncDir(dir) }

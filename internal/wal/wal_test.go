@@ -1,0 +1,334 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/gene"
+)
+
+func testMatrix(t *testing.T, source int) *gene.Matrix {
+	t.Helper()
+	m, err := gene.NewMatrix(source,
+		[]gene.ID{7, 11},
+		[][]float64{{1, 2, 3, 4}, {0.5, -1, 2.25, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// appendRecords writes the canonical test mutation sequence and returns
+// the per-record frame sizes in append order.
+func appendRecords(t *testing.T, w *Writer) []int64 {
+	t.Helper()
+	var sizes []int64
+	before := w.Size()
+	for _, payload := range testPayloads(t) {
+		if err := w.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, w.Size()-before)
+		before = w.Size()
+	}
+	return sizes
+}
+
+func testPayloads(t *testing.T) [][]byte {
+	t.Helper()
+	add1, err := EncodeAddMatrix(testMatrix(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	add2, err := EncodeAddMatrix(testMatrix(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{add1, add2, EncodeRemoveMatrix(3)}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal-00000001.log")
+	w, info, err := Open(path, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Created {
+		t.Fatal("expected fresh segment")
+	}
+	appendRecords(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []Record
+	w2, info, err := Open(path, true, func(payload []byte) error {
+		r, err := DecodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Records != 3 || info.TornBytes != 0 {
+		t.Fatalf("recovery = %+v, want 3 records, no torn tail", info)
+	}
+	if recs[0].Op != OpAddMatrix || recs[0].Source != 3 ||
+		recs[1].Op != OpAddMatrix || recs[1].Source != 9 ||
+		recs[2].Op != OpRemoveMatrix || recs[2].Source != 3 {
+		t.Fatalf("decoded records = %+v", recs)
+	}
+	if got, want := recs[0].Matrix.Col(1), []float64{0.5, -1, 2.25, 0}; len(got) != len(want) {
+		t.Fatalf("matrix column mismatch: %v", got)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("matrix col[1][%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	// Appending after recovery extends the same segment.
+	if err := w2.Append(EncodeRemoveMatrix(9)); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Records != 4 {
+		t.Fatalf("after reopen+append: %d records, want 4", ri.Records)
+	}
+}
+
+// TestTornTailEveryOffset is the crash-recovery property test of the WAL
+// frame format: for every possible truncation point of the segment — a
+// simulated kill mid-append at every byte offset — reopening must keep
+// exactly the records whose frames are complete (the acked prefix) and
+// drop the torn tail cleanly.
+func TestTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.log")
+	w, _, err := Open(full, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := appendRecords(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// boundary[k] is the end offset of record k.
+	boundaries := make([]int64, len(sizes))
+	var off int64
+	for i, sz := range sizes {
+		off += sz
+		boundaries[i] = off
+	}
+	wantRecords := func(n int64) int {
+		k := 0
+		for _, b := range boundaries {
+			if b <= n {
+				k++
+			}
+		}
+		return k
+	}
+
+	for n := int64(0); n <= int64(len(data)); n++ {
+		path := filepath.Join(dir, fmt.Sprintf("torn-%04d.log", n))
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		w, info, err := Open(path, false, func(payload []byte) error {
+			if _, err := DecodeRecord(payload); err != nil {
+				return err
+			}
+			got++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("offset %d: reopen failed: %v", n, err)
+		}
+		if want := wantRecords(n); got != want || info.Records != want {
+			t.Fatalf("offset %d: replayed %d records, want %d", n, got, want)
+		}
+		wantValid := int64(0)
+		for _, b := range boundaries {
+			if b <= n {
+				wantValid = b
+			}
+		}
+		if info.Bytes != wantValid || info.TornBytes != n-wantValid {
+			t.Fatalf("offset %d: recovery = %+v, want valid=%d torn=%d",
+				n, info, wantValid, n-wantValid)
+		}
+		// The torn tail must be gone from disk and the segment appendable.
+		if err := w.Append(EncodeRemoveMatrix(42)); err != nil {
+			t.Fatalf("offset %d: append after recovery: %v", n, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ri, err := Replay(path, nil)
+		if err != nil {
+			t.Fatalf("offset %d: re-replay: %v", n, err)
+		}
+		if ri.Records != wantRecords(n)+1 || ri.TornBytes != 0 {
+			t.Fatalf("offset %d: after truncate+append replay = %+v", n, ri)
+		}
+		os.Remove(path)
+	}
+}
+
+// TestCorruptPayloadStopsReplay flips one payload byte of the middle
+// record: recovery must keep the first record only (everything from the
+// first bad frame is the torn tail).
+func TestCorruptPayloadStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	w, _, err := Open(path, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := appendRecords(t, w)
+	w.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[sizes[0]+frameHeaderSize+2] ^= 0xff // middle record payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2, info, err := Open(path, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Records != 1 || info.Bytes != sizes[0] {
+		t.Fatalf("recovery over corrupt middle = %+v, want 1 record of %d bytes", info, sizes[0])
+	}
+}
+
+func TestOversizedLengthTreatedAsTorn(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	var frame [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(frame[0:], MaxRecord+1)
+	if err := os.WriteFile(path, frame[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, info, err := Open(path, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if info.Records != 0 || info.TornBytes != frameHeaderSize {
+		t.Fatalf("recovery = %+v, want oversized header truncated", info)
+	}
+}
+
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	w, _, err := Open(filepath.Join(t.TempDir(), "wal.log"), false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized append accepted")
+	}
+}
+
+// TestGoldenRecordEncoding pins the exact on-disk bytes of the WAL
+// record formats — frame header plus payload — so the encoding cannot
+// drift silently: a drift would make old logs unreadable.
+func TestGoldenRecordEncoding(t *testing.T) {
+	m, err := gene.NewMatrix(5, []gene.ID{2, 3}, [][]float64{{1, 2}, {0.5, -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	add, err := EncodeAddMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		payload []byte
+		want    string // hex of frame header + payload
+	}{
+		{
+			name:    "add-matrix",
+			payload: add,
+			want: "390000006379a36f" + // size=57, crc32c
+				"01" + // op add
+				"0500000000000000" + // source 5
+				"02000000" + "02000000" + // genes=2, samples=2
+				"02000000" + "03000000" + // ids 2,3
+				"000000000000f03f" + "0000000000000040" + // col 0: 1, 2
+				"000000000000e03f" + "000000000000f0bf", // col 1: 0.5, -1
+		},
+		{
+			name:    "remove-matrix",
+			payload: EncodeRemoveMatrix(5),
+			want: "09000000" + "884d553e" + // size=9, crc32c
+				"02" + "0500000000000000", // op remove, source 5
+		},
+	}
+	for _, tc := range cases {
+		var frame bytes.Buffer
+		var hdr [frameHeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(tc.payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(tc.payload, castagnoli))
+		frame.Write(hdr[:])
+		frame.Write(tc.payload)
+		if got := hex.EncodeToString(frame.Bytes()); got != tc.want {
+			t.Errorf("%s encoding drifted:\n got  %s\n want %s", tc.name, got, tc.want)
+		}
+		// And the writer must produce exactly these bytes.
+		path := filepath.Join(t.TempDir(), "golden.log")
+		w, _, err := Open(path, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(tc.payload); err != nil {
+			t.Fatal(err)
+		}
+		w.Close()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hex.EncodeToString(data); got != tc.want {
+			t.Errorf("%s writer bytes drifted:\n got  %s\n want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeRecord(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, err := DecodeRecord([]byte{99}); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := DecodeRecord([]byte{byte(OpRemoveMatrix), 1, 2}); err == nil {
+		t.Error("short remove payload accepted")
+	}
+	if _, err := DecodeRecord([]byte{byte(OpAddMatrix), 1, 2, 3}); err == nil {
+		t.Error("truncated add payload accepted")
+	}
+}

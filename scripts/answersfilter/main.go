@@ -1,0 +1,53 @@
+// Command answersfilter canonicalizes an imgrn-server query response for
+// byte-exact comparison across restarts: it reads the JSON response on
+// stdin and prints only the answers — source, full-precision probability,
+// gene labels and edges — one line per answer.
+//
+// The smoke tests (scripts/persist_smoke.sh) compare these lines before
+// a kill -9 and after the warm restart. The stats block is deliberately
+// dropped: a warm boot bulk-loads its R*-trees from snapshot points, so
+// simulated page-I/O counters can differ from the incrementally grown
+// pre-crash tree even though the answer set is identical — the engine's
+// durability contract is about answers, not access paths (DESIGN.md §12).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type response struct {
+	Answers []struct {
+		Source int      `json:"source"`
+		Prob   float64  `json:"prob"`
+		Genes  []string `json:"genes"`
+		Edges  []struct {
+			S    int     `json:"s"`
+			T    int     `json:"t"`
+			Prob float64 `json:"prob"`
+		} `json:"edges"`
+	} `json:"answers"`
+	Error string `json:"error"`
+}
+
+func main() {
+	var resp response
+	if err := json.NewDecoder(os.Stdin).Decode(&resp); err != nil {
+		fmt.Fprintln(os.Stderr, "answersfilter: invalid response JSON:", err)
+		os.Exit(1)
+	}
+	if resp.Error != "" {
+		fmt.Fprintln(os.Stderr, "answersfilter: server error:", resp.Error)
+		os.Exit(1)
+	}
+	for _, a := range resp.Answers {
+		var edges []string
+		for _, e := range a.Edges {
+			edges = append(edges, fmt.Sprintf("%d-%d:%.17g", e.S, e.T, e.Prob))
+		}
+		fmt.Printf("src=%d prob=%.17g genes=%s edges=%s\n",
+			a.Source, a.Prob, strings.Join(a.Genes, ","), strings.Join(edges, ";"))
+	}
+}

@@ -1,0 +1,152 @@
+#!/bin/sh
+# persist_smoke.sh — end-to-end crash-durability smoke test (DESIGN.md §12):
+# builds the real binaries, cold-boots a durable server, applies a mutation
+# storm over HTTP, records the query answers, kills the server with SIGKILL
+# (no checkpoint, no flush beyond the per-mutation fsync), restarts it from
+# the same -data-dir, and asserts:
+#
+#   1. the restart is a WARM boot that replays exactly the logged mutations
+#      and re-embeds ONLY those (snapshot sources load without Monte Carlo),
+#   2. every acknowledged mutation survived,
+#   3. query answers are byte-identical before and after the crash,
+#   4. a clean shutdown checkpoints, so the NEXT boot replays nothing.
+#
+# Run via `make persist-smoke`. Exits non-zero on any violation.
+set -eu
+
+PORT="${SMOKE_PORT:-18978}"
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+QUERY='{
+  "genes": ["1", "2"],
+  "edges": [{"s": 0, "t": 1, "prob": 0.6}],
+  "params": {"gamma": 0.5, "alpha": 0.3, "analytic": true}
+}'
+
+wait_healthy() {
+    i=0
+    until curl -fsS "http://127.0.0.1:$PORT/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: server did not become healthy; log:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+            echo "FAIL: server exited; log:" >&2
+            cat "$1" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+run_query() {
+    curl -fsS "http://127.0.0.1:$PORT/query-graph" -d "$QUERY" | "$TMP/answersfilter"
+}
+
+echo "== building binaries"
+go build -o "$TMP/imgrn-datagen" ./cmd/imgrn-datagen
+go build -o "$TMP/imgrn-server" ./cmd/imgrn-server
+go build -o "$TMP/answersfilter" ./scripts/answersfilter
+
+echo "== generating tiny database"
+"$TMP/imgrn-datagen" -out "$TMP/db.imgrn" -n 40 -nmin 8 -nmax 14 -lmin 10 -lmax 16 -pool 60 -seed 7
+
+echo "== cold boot with -data-dir"
+"$TMP/imgrn-server" -db "$TMP/db.imgrn" -data-dir "$TMP/data" -shards 2 \
+    -addr "127.0.0.1:$PORT" >"$TMP/boot1.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy "$TMP/boot1.log"
+grep -q 'store: cold boot gen=1' "$TMP/boot1.log" \
+    || { echo "FAIL: first boot was not a cold boot; log:"; cat "$TMP/boot1.log"; exit 1; }
+
+echo "== mutation storm (3 adds + 1 remove, all acked)"
+for src in 900 901 902; do
+    curl -fsS "http://127.0.0.1:$PORT/add-matrix" -d '{
+      "source": '"$src"',
+      "genes": ["1", "2"],
+      "columns": [[1,2,3,4,5,6,7,8,1,2,3,4],
+                  [2,1,4,3,6,5,8,7,2,1,4,3]]
+    }' >/dev/null || { echo "FAIL: add-matrix $src"; exit 1; }
+done
+curl -fsS "http://127.0.0.1:$PORT/remove-matrix" -d '{"source": 5}' >/dev/null \
+    || { echo "FAIL: remove-matrix 5"; exit 1; }
+
+echo "== recording pre-crash answers"
+run_query >"$TMP/before.answers"
+[ -s "$TMP/before.answers" ] || { echo "FAIL: pre-crash query returned no answers"; exit 1; }
+
+echo "== kill -9 (no checkpoint)"
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+echo "== warm restart from the same -data-dir"
+"$TMP/imgrn-server" -data-dir "$TMP/data" -shards 2 \
+    -addr "127.0.0.1:$PORT" >"$TMP/boot2.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy "$TMP/boot2.log"
+
+# The boot line is the witness: warm boot, the 4 acked mutations replayed,
+# and ONLY the 3 replayed adds re-embedded — the 40 snapshot sources (less
+# the removed one) loaded their Monte Carlo vectors from disk.
+grep -q 'store: warm boot gen=1 replayed=4 ' "$TMP/boot2.log" \
+    || { echo "FAIL: expected warm boot replaying 4 records; log:"; cat "$TMP/boot2.log"; exit 1; }
+grep -q 'embedded=3/' "$TMP/boot2.log" \
+    || { echo "FAIL: warm boot should embed only the 3 replayed adds; log:"; cat "$TMP/boot2.log"; exit 1; }
+echo "== warm boot OK: $(grep 'store: warm boot' "$TMP/boot2.log")"
+
+echo "== verifying acked mutations survived"
+curl -fsS "http://127.0.0.1:$PORT/stats" >"$TMP/stats.json"
+grep -q '"matrices":42' "$TMP/stats.json" \
+    || { echo "FAIL: expected 42 matrices (40 + 3 adds - 1 remove):"; cat "$TMP/stats.json"; exit 1; }
+grep -q '"warmBoot":true' "$TMP/stats.json" \
+    || { echo "FAIL: /stats durability block does not report a warm boot"; exit 1; }
+
+echo "== comparing answers byte-for-byte"
+run_query >"$TMP/after.answers"
+if ! cmp -s "$TMP/before.answers" "$TMP/after.answers"; then
+    echo "FAIL: answers diverged across kill -9 + warm restart:" >&2
+    diff "$TMP/before.answers" "$TMP/after.answers" >&2 || true
+    exit 1
+fi
+
+echo "== durability metric families present"
+curl -fsS "http://127.0.0.1:$PORT/metrics" >"$TMP/metrics.txt"
+for family in imgrn_wal_appends_total imgrn_wal_segment_bytes \
+    imgrn_wal_replayed_records imgrn_snapshot_generation \
+    imgrn_snapshot_warm_boot imgrn_snapshot_checkpoints_total; do
+    grep -q "^# TYPE $family " "$TMP/metrics.txt" \
+        || { echo "FAIL: family $family missing from /metrics"; exit 1; }
+done
+grep -q '^imgrn_snapshot_warm_boot 1$' "$TMP/metrics.txt" \
+    || { echo "FAIL: imgrn_snapshot_warm_boot should be 1"; exit 1; }
+grep -q '^imgrn_wal_replayed_records 4$' "$TMP/metrics.txt" \
+    || { echo "FAIL: imgrn_wal_replayed_records should be 4"; exit 1; }
+
+echo "== clean shutdown checkpoints"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+grep -q 'store: clean shutdown at gen' "$TMP/boot2.log" \
+    || { echo "FAIL: clean shutdown did not checkpoint; log:"; cat "$TMP/boot2.log"; exit 1; }
+
+echo "== third boot replays nothing"
+"$TMP/imgrn-server" -data-dir "$TMP/data" -shards 2 \
+    -addr "127.0.0.1:$PORT" >"$TMP/boot3.log" 2>&1 &
+SERVER_PID=$!
+wait_healthy "$TMP/boot3.log"
+grep -q 'replayed=0 torn=0B embedded=0/' "$TMP/boot3.log" \
+    || { echo "FAIL: post-checkpoint boot should replay and embed nothing; log:"; cat "$TMP/boot3.log"; exit 1; }
+run_query >"$TMP/final.answers"
+cmp -s "$TMP/before.answers" "$TMP/final.answers" \
+    || { echo "FAIL: answers diverged after clean restart"; exit 1; }
+
+echo "PASS: acked mutations survived kill -9, answers byte-identical, warm boot skipped re-embedding"
