@@ -36,6 +36,7 @@ type durableMetrics struct {
 	walTornBytes   *obs.Gauge
 	snapGen        *obs.Gauge
 	snapCount      *obs.Gauge
+	snapFailures   *obs.Gauge
 	snapLastMillis *obs.Gauge
 	snapLastBytes  *obs.Gauge
 	snapWarmBoot   *obs.Gauge
@@ -60,6 +61,8 @@ func (m *serverMetrics) initDurable(r *obs.Registry) {
 		"Committed snapshot generation of the durable store.")
 	d.snapCount = r.Gauge("imgrn_snapshot_checkpoints_total",
 		"Checkpoints completed since boot.")
+	d.snapFailures = r.Gauge("imgrn_snapshot_checkpoint_failures_total",
+		"Checkpoint attempts that failed since boot (the mutations that triggered them remain durable).")
 	d.snapLastMillis = r.Gauge("imgrn_snapshot_last_duration_ms",
 		"Wall-clock duration of the most recent checkpoint in milliseconds.")
 	d.snapLastBytes = r.Gauge("imgrn_snapshot_last_bytes",
@@ -82,6 +85,7 @@ func (m *serverMetrics) observeDurable(ds shard.DurableStats) {
 	d.walTornBytes.Set(ds.TornBytes)
 	d.snapGen.Set(int64(ds.Gen))
 	d.snapCount.Set(int64(ds.Checkpoints))
+	d.snapFailures.Set(int64(ds.CheckpointFailures))
 	d.snapLastMillis.Set(ds.LastCheckpointDuration.Milliseconds())
 	d.snapLastBytes.Set(ds.LastCheckpointBytes)
 	if ds.WarmBoot {
@@ -104,6 +108,8 @@ type DurabilityStatsJSON struct {
 	WALAppends         uint64 `json:"walAppends"`
 	WALSegmentBytes    int64  `json:"walSegmentBytes"`
 	Checkpoints        uint64 `json:"checkpoints"`
+	CheckpointFailures uint64 `json:"checkpointFailures"`
+	LastCheckpointErr  string `json:"lastCheckpointError,omitempty"`
 	LastCheckpointMs   int64  `json:"lastCheckpointMillis"`
 	LastCheckpointSize int64  `json:"lastCheckpointBytes"`
 }
@@ -125,6 +131,8 @@ func (s *Server) durabilityStats() *DurabilityStatsJSON {
 		WALAppends:         ds.WALAppends,
 		WALSegmentBytes:    ds.WALSegmentBytes,
 		Checkpoints:        ds.Checkpoints,
+		CheckpointFailures: ds.CheckpointFailures,
+		LastCheckpointErr:  ds.LastCheckpointError,
 		LastCheckpointMs:   ds.LastCheckpointDuration.Milliseconds(),
 		LastCheckpointSize: ds.LastCheckpointBytes,
 	}

@@ -73,6 +73,10 @@ func (s *Server) handleAddMatrix(w http.ResponseWriter, r *http.Request) {
 			s.error(w, http.StatusConflict, err.Error())
 			return
 		}
+		if errors.Is(err, shard.ErrMutationTooLarge) {
+			s.error(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}

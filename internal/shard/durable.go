@@ -3,6 +3,7 @@ package shard
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -156,6 +157,12 @@ type DurableStats struct {
 	Checkpoints            uint64
 	LastCheckpointDuration time.Duration
 	LastCheckpointBytes    int64
+	// CheckpointFailures counts checkpoint attempts that returned an
+	// error since open (including ones swallowed by the size/timer
+	// triggers, whose mutations are durable regardless);
+	// LastCheckpointError describes the most recent failure.
+	CheckpointFailures  uint64
+	LastCheckpointError string
 }
 
 // Store is a Coordinator with a durable lifecycle: mutations are
@@ -177,9 +184,13 @@ type Store struct {
 	wals   []*wal.Writer
 	dirty  int // appends since the last checkpoint
 	closed bool
-	// failed latches a log-append error: the in-memory engine is ahead
-	// of the log, so further mutations and checkpoints are refused (a
-	// checkpoint would make the unacknowledged mutation durable).
+	// failed latches a durability failure: either a log-append error
+	// (the in-memory engine is ahead of the log, and a checkpoint would
+	// make the unacknowledged mutation durable) or a checkpoint error
+	// past the manifest commit point (the live segments may no longer
+	// belong to the committed generation, so recovery would discard
+	// anything appended to them). Further mutations and checkpoints are
+	// refused; the read path is unaffected.
 	failed error
 
 	stopTicker chan struct{}
@@ -407,6 +418,12 @@ func (st *Store) checkpointLoop(stop <-chan struct{}) {
 	}
 }
 
+// ErrMutationTooLarge rejects a mutation whose encoded WAL record would
+// exceed wal.MaxRecord. The check runs before the mutation is applied,
+// so an oversized request is an ordinary client error — it does not
+// latch the store read-only.
+var ErrMutationTooLarge = errors.New("mutation exceeds WAL record limit")
+
 // AddMatrix indexes a new data source online and makes it durable: the
 // mutation is applied, appended to the owning shard's WAL, fsynced, and
 // only then acknowledged by returning nil.
@@ -422,6 +439,15 @@ func (st *Store) AddMatrix(m *gene.Matrix) error {
 	payload, err := wal.EncodeAddMatrix(m)
 	if err != nil {
 		return err
+	}
+	// Validate the record size before applying: a compact JSON body under
+	// the server's request limit can encode to a binary record over
+	// wal.MaxRecord (float64 columns expand ~4x), and discovering that in
+	// logLocked — after the apply — would latch the whole store read-only
+	// for one oversized request.
+	if len(payload) > wal.MaxRecord {
+		return fmt.Errorf("shard: matrix %d encodes to a %d-byte WAL record (limit %d): %w",
+			m.Source, len(payload), wal.MaxRecord, ErrMutationTooLarge)
 	}
 	sh := st.Coordinator.peekAddShard()
 	if err := st.Coordinator.AddMatrix(m); err != nil {
@@ -453,7 +479,7 @@ func (st *Store) usableLocked() error {
 		return fmt.Errorf("shard: durable store is closed")
 	}
 	if st.failed != nil {
-		return fmt.Errorf("shard: durable store is read-only after log failure: %w", st.failed)
+		return fmt.Errorf("shard: durable store is read-only after durability failure: %w", st.failed)
 	}
 	return nil
 }
@@ -479,7 +505,13 @@ func (st *Store) logLocked(sh int, payload []byte) error {
 	segBytes := st.stats.WALSegmentBytes
 	st.statsMu.Unlock()
 	if st.dopts.CheckpointBytes > 0 && segBytes >= st.dopts.CheckpointBytes {
-		return st.checkpointLocked()
+		// The mutation that tripped the size trigger is already applied,
+		// logged and fsynced — it is durable whatever happens to the
+		// checkpoint, so a checkpoint error must not become this
+		// mutation's result (the client would retry an acked add and get
+		// ErrSourceExists). Failures surface via CheckpointFailures and,
+		// past the commit point, the read-only latch.
+		_ = st.checkpointLocked()
 	}
 	return nil
 }
@@ -508,7 +540,21 @@ func (st *Store) Checkpoint() error {
 	return st.checkpointLocked()
 }
 
+// checkpointLocked runs one checkpoint and records any failure in the
+// stats (so triggers that cannot return the error to anyone — the size
+// threshold in logLocked, the timer loop — still surface it).
 func (st *Store) checkpointLocked() error {
+	err := st.runCheckpointLocked()
+	if err != nil {
+		st.statsMu.Lock()
+		st.stats.CheckpointFailures++
+		st.stats.LastCheckpointError = err.Error()
+		st.statsMu.Unlock()
+	}
+	return err
+}
+
+func (st *Store) runCheckpointLocked() error {
 	start := time.Now()
 	c := st.Coordinator
 	newGen := st.gen + 1
@@ -558,34 +604,58 @@ func (st *Store) checkpointLocked() error {
 		Cursor:    cursor,
 		Index:     c.opts.Index,
 	}
-	if err := writeManifest(filepath.Join(st.dopts.Dir, "MANIFEST"), man, doSync); err != nil {
-		return err
+	committed, err := writeManifest(filepath.Join(st.dopts.Dir, "MANIFEST"), man, doSync)
+	if err != nil {
+		if !committed {
+			// The old manifest still names the committed state: the new
+			// generation's snapshots are strays recovery deletes, and the
+			// live segments still belong to the committed generation, so
+			// the store keeps logging normally.
+			return err
+		}
+		// The rename landed but its durability is unknown (the directory
+		// fsync failed) — recovery may resurrect either generation, so no
+		// further mutation may be acknowledged against segments one of
+		// them would delete.
+		st.failed = fmt.Errorf("shard: checkpoint commit for gen %d not durable: %w", newGen, err)
+		return fmt.Errorf("shard: store is now read-only: %w", st.failed)
 	}
 
 	// Phase 3: rotate segments and delete the superseded generation. A
-	// crash anywhere here is repaired by recovery (missing new segments
-	// are created empty; stale gen files are deleted).
+	// *crash* anywhere here is repaired by recovery (missing new segments
+	// are created empty; stale gen files are deleted). An *error* here
+	// latches the store read-only: gen newGen is already committed, so
+	// recovery deletes the old segments — acking further appends to them
+	// would silently lose those mutations, and a retried checkpoint could
+	// os.Remove the very wal-newGen segment it had just opened.
 	oldGen := st.gen
+	st.gen = newGen
+	st.statsMu.Lock()
+	st.stats.Gen = newGen
+	st.statsMu.Unlock()
 	for i := range c.shards {
 		dir := shardDirPath(st.dopts.Dir, i)
 		w, _, err := wal.Open(walPath(dir, newGen), doSync, nil)
 		if err != nil {
-			return fmt.Errorf("shard: opening segment for gen %d: %w", newGen, err)
+			st.failed = fmt.Errorf("shard: opening segment for gen %d after commit: %w", newGen, err)
+			return fmt.Errorf("shard: store is now read-only: %w", st.failed)
 		}
 		if old := st.wals[i]; old != nil {
 			old.Close()
-			os.Remove(old.Path())
+			// Path equality guards the defense-in-depth case of a rotation
+			// retry: never unlink the segment the live writer holds.
+			if old.Path() != w.Path() {
+				os.Remove(old.Path())
+			}
 		}
 		st.wals[i] = w
 		if oldGen > 0 {
 			os.Remove(snapPath(dir, oldGen))
 		}
 	}
-	st.gen = newGen
 	st.dirty = 0
 
 	st.statsMu.Lock()
-	st.stats.Gen = newGen
 	st.stats.Checkpoints++
 	st.stats.LastCheckpointDuration = time.Since(start)
 	st.stats.LastCheckpointBytes = snapBytes
@@ -714,13 +784,17 @@ func cleanShardDir(dir string, gen uint64) error {
 	return nil
 }
 
+// matchGen parses `prefix<digits>suffix` file names. The digit run is
+// variable-length: snapPath/walPath pad to 8 digits with %08d but emit 9+
+// once the generation passes 10^8, and a fixed-width parse would make
+// cleanShardDir mistake the committed generation's own files for strays.
 func matchGen(name, prefix, suffix string, gen *uint64) bool {
-	if len(name) != len(prefix)+8+len(suffix) ||
+	if len(name) <= len(prefix)+len(suffix) ||
 		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
 		return false
 	}
 	var g uint64
-	for _, c := range name[len(prefix) : len(prefix)+8] {
+	for _, c := range name[len(prefix) : len(name)-len(suffix)] {
 		if c < '0' || c > '9' {
 			return false
 		}
@@ -750,44 +824,48 @@ func readManifest(path string) (*manifest, error) {
 	return &man, nil
 }
 
-func writeManifest(path string, man manifest, doSync bool) error {
+func writeManifest(path string, man manifest, doSync bool) (committed bool, err error) {
 	data, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
-		return err
+		return false, err
 	}
 	return atomicWrite(path, append(data, '\n'), doSync)
 }
 
-// atomicWrite is the crash-safe replace protocol shared by manifest and
-// snapshot writers: write a temp file, fsync it, rename over the target,
-// fsync the directory. A reader sees either the old complete file or the
-// new complete file, never a partial one.
-func atomicWrite(path string, data []byte, doSync bool) error {
+// atomicWrite is the crash-safe replace protocol of the manifest: write
+// a temp file, fsync it, rename over the target, fsync the directory. A
+// reader sees either the old complete file or the new complete file,
+// never a partial one. committed reports whether the rename was issued:
+// an error with committed=false left the old file in place, while an
+// error with committed=true (the directory fsync failed) leaves the
+// replace in an unknown durability state — the caller must treat the
+// commit as ambiguous, not rolled back.
+func atomicWrite(path string, data []byte, doSync bool) (committed bool, err error) {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		return err
+		return false, err
 	}
 	if doSync {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return err
+			return false, err
 		}
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return false, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return err
+		return false, err
 	}
 	if doSync {
-		return wal.SyncDir(filepath.Dir(path))
+		return true, wal.SyncDir(filepath.Dir(path))
 	}
-	return nil
+	return true, nil
 }
 
 // --- snapshot I/O ---

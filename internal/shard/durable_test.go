@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -477,5 +478,257 @@ func TestDurableColdBootGuards(t *testing.T) {
 	defer st2.Close()
 	if st2.NumShards() != 2 {
 		t.Errorf("adopted %d shards, want on-disk 2", st2.NumShards())
+	}
+}
+
+// TestDurableRotationFailureLatchesReadOnly: a checkpoint that fails
+// AFTER the manifest commit (phase 3) must latch the store read-only —
+// the live segments belong to a generation recovery deletes, so acking
+// further appends to them would silently lose acknowledged writes — and
+// a reopen must recover every mutation acked before the failure.
+func TestDurableRotationFailureLatchesReadOnly(t *testing.T) {
+	ds := durDataset(t, 10)
+	db, muts := splitDataset(t, ds, 8)
+	dir := t.TempDir()
+	st := openTestStore(t, db, 1, dir)
+	for _, m := range muts {
+		if err := st.AddMatrix(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantSources := sources(st.Coordinator)
+
+	// Make phase 3 fail: plant a directory where the gen-2 segment goes.
+	// Phases 1-2 (snapshots + manifest commit) succeed, then wal.Open
+	// hits the directory and errors.
+	blocker := walPath(shardDirPath(dir, 0), 2)
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err == nil {
+		t.Fatal("checkpoint over a blocked segment path succeeded")
+	}
+	stats := st.DurableStats()
+	if stats.CheckpointFailures == 0 || stats.LastCheckpointError == "" {
+		t.Errorf("checkpoint failure not counted in stats: %+v", stats)
+	}
+	if stats.Gen != 2 {
+		t.Errorf("stats.Gen = %d after committed-but-unrotated checkpoint, want 2", stats.Gen)
+	}
+	// Further mutations and checkpoint retries must be refused: gen 2 is
+	// committed, so an append to the live gen-1 segment would be dropped
+	// by recovery, and a retried rotation could unlink a live segment.
+	if err := st.AddMatrix(ds.DB.Matrix(8)); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("mutation after failed rotation: err = %v, want read-only latch", err)
+	}
+	if err := st.Checkpoint(); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("checkpoint retry after failed rotation: err = %v, want read-only latch", err)
+	}
+	st.crash()
+
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	st2 := openTestStore(t, nil, 1, dir)
+	defer st2.Close()
+	if got := st2.Gen(); got != 2 {
+		t.Errorf("recovered generation = %d, want committed 2", got)
+	}
+	gotSources := sources(st2.Coordinator)
+	if len(gotSources) != len(wantSources) {
+		t.Errorf("recovered %d sources, want %d", len(gotSources), len(wantSources))
+	}
+	for s := range wantSources {
+		if !gotSources[s] {
+			t.Errorf("acked source %d lost across failed rotation + reopen", s)
+		}
+	}
+}
+
+// TestDurableSizeTriggeredCheckpointFailureKeepsMutationAcked: a
+// mutation whose append trips CheckpointBytes is applied, logged and
+// fsynced before the checkpoint runs, so a pre-commit checkpoint failure
+// must surface via stats — not as the mutation's result, which a client
+// would retry into ErrSourceExists.
+func TestDurableSizeTriggeredCheckpointFailureKeepsMutationAcked(t *testing.T) {
+	ds := durDataset(t, 10)
+	db, muts := splitDataset(t, ds, 8)
+	dir := t.TempDir()
+	st, err := OpenDurable(db, Options{NumShards: 1, Index: durOpts},
+		DurableOptions{Dir: dir, DisableFsync: true, CheckpointBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the NEXT checkpoint fail in phase 1 (before the commit point):
+	// a directory squats on the gen-2 snapshot's temp path.
+	blocker := snapPath(shardDirPath(dir, 0), 2) + ".tmp"
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range muts[:2] {
+		if err := st.AddMatrix(m); err != nil {
+			t.Fatalf("mutation %d failed because its size-triggered checkpoint failed: %v", i, err)
+		}
+	}
+	stats := st.DurableStats()
+	if stats.CheckpointFailures != 2 {
+		t.Errorf("CheckpointFailures = %d, want 2", stats.CheckpointFailures)
+	}
+	if stats.Gen != 1 {
+		t.Errorf("gen = %d after pre-commit checkpoint failures, want 1", stats.Gen)
+	}
+	// Pre-commit failures do not latch: once the obstruction clears, the
+	// same store checkpoints fine.
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after clearing obstruction: %v", err)
+	}
+	st.crash()
+
+	st2 := openTestStore(t, nil, 1, dir)
+	defer st2.Close()
+	for _, m := range muts[:2] {
+		if _, ok := st2.Placement(m.Source); !ok {
+			t.Errorf("acked source %d lost across checkpoint failures + reopen", m.Source)
+		}
+	}
+}
+
+// TestDurableOversizedMutationRejectedBeforeApply: a matrix whose WAL
+// encoding exceeds wal.MaxRecord must be rejected as a client error
+// before it is applied — not discovered at append time, which would
+// latch the whole store read-only for one oversized request.
+func TestDurableOversizedMutationRejectedBeforeApply(t *testing.T) {
+	ds := durDataset(t, 7)
+	db, muts := splitDataset(t, ds, 6)
+	dir := t.TempDir()
+	st := openTestStore(t, db, 2, dir)
+	defer st.Close()
+
+	// 8 columns x 1.05M samples x 8 bytes ≈ 67.2 MB of float64 payload,
+	// just over the 64 MiB record cap.
+	const nGenes, nSamples = 8, 1_050_000
+	ids := make([]gene.ID, nGenes)
+	cols := make([][]float64, nGenes)
+	for j := range cols {
+		ids[j] = gene.ID(j)
+		col := make([]float64, nSamples)
+		for i := range col {
+			col[i] = float64((i + j) % 97)
+		}
+		cols[j] = col
+	}
+	big, err := gene.NewMatrix(9999, ids, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddMatrix(big); !errors.Is(err, ErrMutationTooLarge) {
+		t.Fatalf("oversized AddMatrix err = %v, want ErrMutationTooLarge", err)
+	}
+	if _, ok := st.Placement(9999); ok {
+		t.Error("oversized matrix was placed despite rejection")
+	}
+	if st.Database().BySource(9999) != nil {
+		t.Error("oversized matrix reached the database despite rejection")
+	}
+	// The store is not latched: ordinary mutations still work.
+	if err := st.AddMatrix(muts[0]); err != nil {
+		t.Fatalf("mutation after oversized rejection: %v", err)
+	}
+}
+
+// TestCursorRollbackOnFailedAdd: a failed AddMatrix must leave the
+// round-robin cursor untouched so it keeps counting successful
+// placements only — the invariant durable recovery reconstructs the
+// cursor from (manifest cursor + replayed adds, which include no failed
+// adds).
+func TestCursorRollbackOnFailedAdd(t *testing.T) {
+	ds := durDataset(t, 8)
+	db, muts := splitDataset(t, ds, 6)
+	coord, err := Build(db, Options{NumShards: 2, Index: durOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.mu.Lock()
+	before := coord.cursor
+	coord.mu.Unlock()
+
+	// An empty matrix passes the coordinator's checks but is rejected by
+	// index.AddMatrix — the rollback path.
+	empty, err := gene.NewMatrix(7777, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.AddMatrix(empty); err == nil {
+		t.Fatal("AddMatrix of an empty matrix succeeded")
+	}
+	coord.mu.Lock()
+	after := coord.cursor
+	coord.mu.Unlock()
+	if after != before {
+		t.Fatalf("cursor moved %d -> %d across a failed add", before, after)
+	}
+	if _, ok := coord.Placement(7777); ok {
+		t.Error("failed add left a placement entry")
+	}
+	// Placement continues as if the failed add never happened.
+	wantShard := after % coord.NumShards()
+	if err := coord.AddMatrix(muts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if sh, _ := coord.Placement(muts[0].Source); sh != wantShard {
+		t.Errorf("next add placed on shard %d, want %d", sh, wantShard)
+	}
+}
+
+// TestMatchGenVariableWidth: generation parsing must accept the 9+ digit
+// file names %08d emits once the generation passes 10^8 — a fixed-width
+// parse would make cleanShardDir delete the committed generation's own
+// files.
+func TestMatchGenVariableWidth(t *testing.T) {
+	cases := []struct {
+		name string
+		want uint64
+		ok   bool
+	}{
+		{"snap-00000007.snap", 7, true},
+		{"snap-99999999.snap", 99999999, true},
+		{"snap-100000000.snap", 100000000, true},
+		{"snap-123456789012.snap", 123456789012, true},
+		{"snap-.snap", 0, false},
+		{"snap-0000000x.snap", 0, false},
+		{"snap-00000002.snap.tmp", 0, false},
+		{"wal-00000002.log", 0, false}, // wrong prefix/suffix
+	}
+	for _, c := range cases {
+		var g uint64
+		ok := matchGen(c.name, "snap-", ".snap", &g)
+		if ok != c.ok || (ok && g != c.want) {
+			t.Errorf("matchGen(%q) = (%d, %v), want (%d, %v)", c.name, g, ok, c.want, c.ok)
+		}
+	}
+
+	dir := t.TempDir()
+	const gen = 100000000
+	keepSnap := filepath.Join(dir, fmt.Sprintf("snap-%08d.snap", uint64(gen)))
+	keepWAL := filepath.Join(dir, fmt.Sprintf("wal-%08d.log", uint64(gen)))
+	stray := filepath.Join(dir, "snap-99999999.snap")
+	for _, p := range []string{keepSnap, keepWAL, stray} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cleanShardDir(dir, gen); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{keepSnap, keepWAL} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("committed-generation file %s deleted by cleanShardDir", filepath.Base(p))
+		}
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("stale snap-99999999.snap survived cleanShardDir")
 	}
 }

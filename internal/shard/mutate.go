@@ -46,6 +46,12 @@ func (c *Coordinator) AddMatrix(m *gene.Matrix) error {
 	if err != nil {
 		c.mu.Lock()
 		delete(c.placement, m.Source)
+		// Roll the cursor back too: it must count successful placements
+		// only, or the durable store's recovered cursor (manifest cursor +
+		// replayed adds, none of which include failed adds) would diverge
+		// from the live one and change round-robin placement after a
+		// restart.
+		c.cursor--
 		c.mu.Unlock()
 		return err
 	}

@@ -51,8 +51,12 @@ const frameHeaderSize = 8
 
 // MaxRecord bounds a single record payload (64 MiB). The cap exists so a
 // corrupt length field cannot demand an absurd allocation during
-// recovery; it comfortably holds the largest matrix the server accepts
-// (requests are bounded by MaxBodyBytes, 32 MiB).
+// recovery. It does NOT follow from the server's request bound: a
+// compact JSON body under MaxBodyBytes (32 MiB) can decode to a matrix
+// whose binary encoding is larger (short decimal floats expand to 8-byte
+// float64s), so the store layer validates the encoded size against
+// MaxRecord before applying a mutation and rejects oversized ones as a
+// client error (shard.ErrMutationTooLarge).
 const MaxRecord = 64 << 20
 
 // castagnoli is the CRC-32C table shared by writer and scanner.
