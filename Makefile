@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke experiments experiments-full fmt fmt-check vet metrics-smoke persist-smoke clean
+.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke bench-plan bench-plan-smoke experiments experiments-full fmt fmt-check vet metrics-smoke persist-smoke clean
 
 all: build test
 
@@ -53,6 +53,18 @@ bench-shard:
 # must stay within 1.1x of P=1 (arena scratch reuse).
 bench-shard-smoke:
 	BENCH_SHARD=1 $(GO) test -run TestShardScalingGate -v .
+
+# Adaptive planner vs fixed pipeline on the mixed easy/hard workload ->
+# BENCH_plan.json (ns/op, allocs/op, derived adaptive-vs-fixed speedup).
+bench-plan:
+	$(GO) test -run xxx -bench 'BenchmarkPlanQuery' -benchmem . \
+	| $(GO) run ./cmd/imgrn-benchjson > BENCH_plan.json
+	@cat BENCH_plan.json
+
+# CI gate: a warmed adaptive planner must never be more than 1.1x slower
+# than the fixed pipeline on the mixed easy/hard workload.
+bench-plan-smoke:
+	BENCH_PLAN=1 $(GO) test -run TestPlanNotSlowerThanFixed -v .
 
 # The paper's evaluation at CI scale / Table-2 scale.
 experiments:

@@ -52,6 +52,7 @@ import (
 
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/plan"
 	"github.com/imgrn/imgrn/internal/server"
 	"github.com/imgrn/imgrn/internal/shard"
 )
@@ -73,6 +74,7 @@ func main() {
 		dataDir       = flag.String("data-dir", "", "durable data directory: WAL every mutation and checkpoint into snapshots; restarts warm-boot from it (incompatible with -index)")
 		ckptBytes     = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint when live WAL segments exceed this many bytes (durable mode; <0 disables the size trigger)")
 		ckptEvery     = flag.Duration("checkpoint-every", 0, "background checkpoint interval while mutations are outstanding (durable mode; 0 = size-triggered and shutdown only)")
+		planAdaptive  = flag.Bool("plan-adaptive", false, "plan queries adaptively with the cost-model planner (per-query plans appear in the stats \"plan\" block and the imgrn_plan_* metrics; off = the fixed default pipeline)")
 	)
 	flag.Parse()
 
@@ -81,7 +83,8 @@ func main() {
 			fatal(fmt.Errorf("-data-dir and -index are mutually exclusive; the data directory holds its own snapshots"))
 		}
 		serveDurable(*dataDir, *dbPath, *shards, *d, *seed, *ckptBytes, *ckptEvery,
-			*addr, *queryTimeout, *maxConcurrent, *workers, *pprofOn, *slowQuery, *drainTimeout)
+			*addr, *queryTimeout, *maxConcurrent, *workers, *pprofOn, *slowQuery, *drainTimeout,
+			*planAdaptive)
 		return
 	}
 
@@ -114,7 +117,7 @@ func main() {
 		fmt.Printf("index: built %d shards, %d vectors, %d nodes in %v\n",
 			coord.NumShards(), bs.Vectors, bs.TreeNodes, bs.Elapsed)
 		serve(server.NewSharded(coord, nil), nil, *addr, *queryTimeout, *maxConcurrent,
-			*workers, *pprofOn, *slowQuery, *drainTimeout)
+			*workers, *pprofOn, *slowQuery, *drainTimeout, *planAdaptive)
 		return
 	}
 
@@ -143,7 +146,7 @@ func main() {
 	}
 
 	serve(server.New(idx, nil), nil, *addr, *queryTimeout, *maxConcurrent,
-		*workers, *pprofOn, *slowQuery, *drainTimeout)
+		*workers, *pprofOn, *slowQuery, *drainTimeout, *planAdaptive)
 }
 
 // serveDurable opens (or initializes) the durable store in dataDir and
@@ -153,7 +156,7 @@ func main() {
 func serveDurable(dataDir, dbPath string, shards, d int, seed uint64,
 	ckptBytes int64, ckptEvery time.Duration, addr string,
 	queryTimeout time.Duration, maxConcurrent, workers int,
-	pprofOn bool, slowQuery, drainTimeout time.Duration) {
+	pprofOn bool, slowQuery, drainTimeout time.Duration, planAdaptive bool) {
 	var db *gene.Database
 	warmPossible := false
 	if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST")); err == nil {
@@ -201,7 +204,7 @@ func serveDurable(dataDir, dbPath string, shards, d int, seed uint64,
 	fmt.Printf("index: %d shards, %d vectors, %d nodes\n",
 		st.NumShards(), bs.Vectors, bs.TreeNodes)
 	serve(server.NewDurable(st, nil), st, addr, queryTimeout, maxConcurrent,
-		workers, pprofOn, slowQuery, drainTimeout)
+		workers, pprofOn, slowQuery, drainTimeout, planAdaptive)
 }
 
 // serve configures the HTTP server and runs it until SIGINT/SIGTERM,
@@ -209,12 +212,16 @@ func serveDurable(dataDir, dbPath string, shards, d int, seed uint64,
 // drain — the clean-shutdown checkpoint, so the next boot replays
 // nothing.
 func serve(h *server.Server, st *shard.Store, addr string, queryTimeout time.Duration, maxConcurrent,
-	workers int, pprofOn bool, slowQuery, drainTimeout time.Duration) {
+	workers int, pprofOn bool, slowQuery, drainTimeout time.Duration, planAdaptive bool) {
 	h.QueryTimeout = queryTimeout
 	h.MaxConcurrent = maxConcurrent
 	h.Workers = workers
 	h.EnablePprof = pprofOn
 	h.SlowQueryThreshold = slowQuery
+	if planAdaptive {
+		h.Planner = plan.NewPlanner(plan.Options{})
+		fmt.Println("planner: adaptive query planning enabled")
+	}
 	if pprofOn {
 		fmt.Println("pprof: enabled at /debug/pprof/")
 	}

@@ -12,6 +12,7 @@ import (
 	"github.com/imgrn/imgrn/internal/grn"
 	"github.com/imgrn/imgrn/internal/index"
 	"github.com/imgrn/imgrn/internal/obs"
+	"github.com/imgrn/imgrn/internal/plan"
 	"github.com/imgrn/imgrn/internal/randgen"
 	"github.com/imgrn/imgrn/internal/shard"
 	"github.com/imgrn/imgrn/internal/subiso"
@@ -39,8 +40,12 @@ type (
 	IndexOptions = index.Options
 	// QueryParams carries the per-query thresholds (γ, α of Definition 4),
 	// the estimator settings (Samples, Seed, Analytic, OneSided), the
-	// intra-query worker budget (Workers) and the optional per-query
-	// trace collector (Trace, see NewQueryTrace).
+	// requested accuracy (Eps, Delta — the plan then picks the Lemma-2
+	// sample count R = SampleSize(Eps, Delta) instead of Samples), the
+	// intra-query worker budget (Workers), the optional per-query trace
+	// collector (Trace, see NewQueryTrace), and an optional pinned
+	// execution plan (Plan; nil resolves the fixed default plan, see
+	// QueryPlan).
 	QueryParams = core.Params
 	// Answer is one IM-GRN query result: a matching data source with its
 	// appearance probability and the matched probabilistic edges.
@@ -53,9 +58,36 @@ type (
 	// pruning-power counters (NodePairsVisited/Pruned,
 	// PointPairsChecked/Pruned, CandidateGenes, CandidateMatrices,
 	// MatricesPrunedL5), edge-probability cache effectiveness
-	// (CacheHits, CacheMisses), and the query graph shape
-	// (QueryVertices, QueryEdges).
+	// (CacheHits, CacheMisses), the query graph shape
+	// (QueryVertices, QueryEdges), and the execution plan the query ran
+	// under (Plan — never nil on a completed query).
 	QueryStats = core.Stats
+	// QueryPlan is one query's resolved execution plan: the Monte Carlo
+	// sample count R (possibly derived from a requested (ε, δ) via the
+	// Lemma-2 bound) and the prune-stage switches. Plans are immutable
+	// once resolved and shared across shards; read the plan a query ran
+	// under from QueryStats.Plan, or pin one via QueryParams.Plan.
+	QueryPlan = plan.Plan
+	// Planner builds adaptive query plans by evaluating the paper's §4
+	// cost model online from observed stage statistics; feed it each
+	// query's QueryStats.PlanFeedback() and install its Plan output on
+	// QueryParams.Plan (the HTTP server automates this loop, see
+	// internal/server.Server.Planner).
+	Planner = plan.Planner
+	// PlannerOptions tunes the adaptive Planner (warm-up query count,
+	// skip margins, EWMA decay); the zero value takes the documented
+	// defaults.
+	PlannerOptions = plan.Options
+	// PlanRequest describes one query to the planner: the fixed stage
+	// set to start from, a requested accuracy (Eps, Delta) or sample
+	// count, and the optional shape hints the cost model consults
+	// (QueryGenes, CacheEntries, DBVectors, MeanPivotCost — zero means
+	// unknown).
+	PlanRequest = plan.Request
+	// PlanFeedback is one finished query's realized stage statistics;
+	// build it with QueryStats.PlanFeedback and fold it into the cost
+	// model with Planner.Observe.
+	PlanFeedback = plan.Feedback
 	// QueryTrace collects per-stage spans (durations plus candidate
 	// in/out counts) of one query; attach one via QueryParams.Trace and
 	// read the spans back with Spans or Summary after the query returns.
@@ -71,6 +103,12 @@ type (
 // pipeline without perturbing it: answers and RNG streams are identical
 // with tracing on or off.
 func NewQueryTrace() *QueryTrace { return obs.NewTracer() }
+
+// NewPlanner returns an adaptive query planner (see Planner). The zero
+// PlannerOptions value takes the documented defaults: plans stay fixed
+// until 32 queries have been observed, and a stage is only skipped when
+// the cost model says it costs at least twice what it saves.
+func NewPlanner(opts PlannerOptions) *Planner { return plan.NewPlanner(opts) }
 
 // WildcardGene is a query vertex label that matches any gene in
 // MatchSubgraph.
@@ -358,6 +396,12 @@ func (e *Engine) QueryContext(ctx context.Context, mq *Matrix, params QueryParam
 	if e.coord != nil {
 		return e.coord.QueryContext(ctx, mq, params)
 	}
+	// Resolve the plan before cache selection: the cache key includes the
+	// sample count, which an (Eps, Delta) accuracy request rewrites.
+	params, err := params.ResolvePlan()
+	if err != nil {
+		return nil, QueryStats{}, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	params.Cache = e.cacheFor(params)
@@ -382,6 +426,10 @@ func (e *Engine) QueryGraphContext(ctx context.Context, q *Graph, params QueryPa
 	}
 	if e.coord != nil {
 		return e.coord.QueryGraphContext(ctx, q, params)
+	}
+	params, err := params.ResolvePlan()
+	if err != nil {
+		return nil, QueryStats{}, err
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()

@@ -159,6 +159,13 @@ func deriveSpeedups(bs []Benchmark) map[string]float64 {
 			}
 		}
 	}
+	// Adaptive planner vs fixed pipeline (`make bench-plan`): the mixed
+	// easy/hard workload under a warmed planner.
+	if f, ok := byName["BenchmarkPlanQuery/fixed"]; ok {
+		if a, ok := byName["BenchmarkPlanQuery/adaptive"]; ok && a.NsOp > 0 {
+			out["PlanQuery_adaptive_vs_fixed"] = f.NsOp / a.NsOp
+		}
+	}
 	if len(out) == 0 {
 		return nil
 	}

@@ -71,6 +71,28 @@ PASS
 	}
 }
 
+func TestParsePlanSpeedup(t *testing.T) {
+	const planSample = `BenchmarkPlanQuery/fixed-8     1147  1000000 ns/op  51234 B/op  412 allocs/op
+BenchmarkPlanQuery/adaptive-8  1278   800000 ns/op  49012 B/op  398 allocs/op
+PASS
+`
+	sum, err := Parse(strings.NewReader(planSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Speedups["PlanQuery_adaptive_vs_fixed"]; got != 1.25 {
+		t.Errorf("PlanQuery_adaptive_vs_fixed = %v, want 1.25", got)
+	}
+	// One side alone derives nothing.
+	sum, err = Parse(strings.NewReader("BenchmarkPlanQuery/fixed-8 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sum.Speedups["PlanQuery_adaptive_vs_fixed"]; ok {
+		t.Error("unexpected PlanQuery_adaptive_vs_fixed entry")
+	}
+}
+
 func TestParseKeepsSubBenchNames(t *testing.T) {
 	sum, err := Parse(strings.NewReader("BenchmarkParallelQuery/workers=12-8 1 5 ns/op\n"))
 	if err != nil {

@@ -15,6 +15,8 @@ import (
 	"github.com/imgrn/imgrn/internal/gene"
 	"github.com/imgrn/imgrn/internal/grn"
 	"github.com/imgrn/imgrn/internal/obs"
+	"github.com/imgrn/imgrn/internal/plan"
+	"github.com/imgrn/imgrn/internal/stats"
 )
 
 // Params are the per-query IM-GRN parameters of Definition 4 plus
@@ -25,8 +27,15 @@ type Params struct {
 	// Alpha is the probabilistic matching threshold α ∈ [0, 1).
 	Alpha float64
 	// Samples is the Monte Carlo sample count for exact edge probabilities
-	// (stats.DefaultSamples when 0).
+	// (stats.DefaultSamples when 0). Overridden by Eps/Delta or an
+	// explicit Plan.
 	Samples int
+	// Eps and Delta request a per-query (ε, δ)-approximation: when either
+	// is non-zero both must satisfy Lemma 2's domain (ε > 0, 0 < δ < 1;
+	// Validate rejects the rest) and the query plan chooses
+	// Samples = stats.SampleSize(Eps, Delta) instead of the value above.
+	Eps   float64
+	Delta float64
 	// BoundSamples is the (small) sample count for the Lemma-3 E(Z)
 	// estimate (16 when 0).
 	BoundSamples int
@@ -83,12 +92,23 @@ type Params struct {
 	// set-returning refinement modes.
 	Sink *TopKSink
 
+	// Plan pins this query's execution plan. Nil (the usual case) makes
+	// the processor resolve the fixed default plan from the params —
+	// byte-identical to the pre-planner pipeline; the sharded coordinator
+	// resolves once per query so every shard executes the same plan, and
+	// the server installs adaptive plans from its cost-model Planner.
+	// When set, the plan's decisions override Samples and the stage
+	// switches below (DisableIndexPruning and DisableGeneRange stay
+	// caller-controlled: they are ablation-only and not planned).
+	Plan *plan.Plan
+
 	// Ablation switches (used by the benchmark harness to isolate the
 	// contribution of each pruning layer; leave false in production).
-	DisableIndexPruning bool // skip Lemma 6 node-pair pruning
-	DisablePivotPruning bool // skip leaf-level PPR point-pair pruning
-	DisableSignatures   bool // skip bit-vector gene/source node filters
-	DisableGeneRange    bool // skip gene-ID MBR range tests on node pairs
+	DisableIndexPruning  bool // skip Lemma 6 node-pair pruning
+	DisablePivotPruning  bool // skip leaf-level PPR point-pair pruning
+	DisableSignatures    bool // skip bit-vector gene/source node filters
+	DisableGeneRange     bool // skip gene-ID MBR range tests on node pairs
+	DisableMarkovPruning bool // skip Lemma-5 graph existence pruning of candidates
 
 	// DisableBatchInference turns off the batched Monte Carlo inference
 	// kernel for query-graph inference, falling back to the per-pair scalar
@@ -101,7 +121,10 @@ type Params struct {
 	DisableBatchInference bool
 }
 
-// Validate reports whether the thresholds are in range.
+// Validate reports whether the thresholds are in range, including the
+// Lemma-2 domain of a requested (Eps, Delta). Bad accuracy parameters
+// surface here as an error — never as a stats.SampleSize panic — so the
+// HTTP layer can answer 400.
 func (p Params) Validate() error {
 	if p.Gamma < 0 || p.Gamma >= 1 {
 		return errOutOfRange("Gamma", p.Gamma)
@@ -109,7 +132,51 @@ func (p Params) Validate() error {
 	if p.Alpha < 0 || p.Alpha >= 1 {
 		return errOutOfRange("Alpha", p.Alpha)
 	}
+	if p.Eps != 0 || p.Delta != 0 {
+		if _, err := stats.SampleSizeErr(p.Eps, p.Delta); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// planRequest maps the params onto the planner's view of the query: the
+// stage switches invert the Disable* ablation flags, and the accuracy
+// and sample knobs pass through.
+func (p Params) planRequest() plan.Request {
+	return plan.Request{
+		Eps:        p.Eps,
+		Delta:      p.Delta,
+		Samples:    p.Samples,
+		Pivot:      !p.DisablePivotPruning,
+		Signatures: !p.DisableSignatures,
+		Markov:     !p.DisableMarkovPruning,
+		Batch:      !p.DisableBatchInference,
+	}
+}
+
+// ResolvePlan returns params with a query plan resolved and applied:
+// a nil Plan is replaced by the fixed default plan (a pure round-trip of
+// the params, so behavior is byte-identical to the pre-planner
+// pipeline), and the plan's decisions are written back onto Samples and
+// the stage switches. Idempotent; the sharded coordinator calls it once
+// per query before scattering so every shard shares one plan, and
+// NewProcessor calls it so direct processor use is planned too.
+func (p Params) ResolvePlan() (Params, error) {
+	if p.Plan == nil {
+		pl, err := plan.Resolve(p.planRequest())
+		if err != nil {
+			return p, err
+		}
+		p.Plan = pl
+	}
+	pl := p.Plan
+	p.Samples = pl.Samples
+	p.DisablePivotPruning = !pl.Pivot
+	p.DisableSignatures = !pl.Signatures
+	p.DisableMarkovPruning = !pl.Markov
+	p.DisableBatchInference = !pl.Batch
+	return p, nil
 }
 
 type paramErr struct {
@@ -176,4 +243,29 @@ type Stats struct {
 	// Query graph shape.
 	QueryVertices int
 	QueryEdges    int
+
+	// Plan is the execution plan this query ran under (never nil for a
+	// processor query: a nil Params.Plan resolves to the fixed default
+	// plan). Shared, immutable; sharded queries report the one plan all
+	// shards executed.
+	Plan *plan.Plan
+}
+
+// PlanFeedback maps the query's realized stage statistics onto the
+// planner's feedback record, closing the observability loop: the server
+// (and the experiments harness) feed it into a plan.Planner after every
+// query.
+func (st Stats) PlanFeedback() plan.Feedback {
+	return plan.Feedback{
+		Candidates:        st.CandidateMatrices,
+		PrunedL5:          st.MatricesPrunedL5,
+		MarkovSeconds:     st.MarkovPrune.Seconds(),
+		MonteCarloSeconds: st.MonteCarlo.Seconds(),
+		PointPairsChecked: st.PointPairsChecked,
+		PointPairsPruned:  st.PointPairsPruned,
+		NodePairsVisited:  st.NodePairsVisited,
+		NodePairsPruned:   st.NodePairsPruned,
+		CacheHits:         st.CacheHits,
+		CacheMisses:       st.CacheMisses,
+	}
 }

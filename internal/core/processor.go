@@ -42,8 +42,16 @@ type Processor struct {
 }
 
 // NewProcessor returns a processor for idx with the given parameters.
+// The query plan is resolved here: a nil params.Plan becomes the fixed
+// default plan (byte-identical to the pre-planner pipeline), and the
+// plan's decisions — sample count, prune-stage switches, inference
+// kernel — are applied onto the effective params every stage reads.
 func NewProcessor(idx *index.Index, params Params) (*Processor, error) {
 	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := params.ResolvePlan()
+	if err != nil {
 		return nil, err
 	}
 	return &Processor{
@@ -196,6 +204,7 @@ func (p *Processor) Query(mq *gene.Matrix) ([]Answer, Stats, error) {
 // refinement across a bounded worker pool.
 func (p *Processor) QueryContext(ctx context.Context, mq *gene.Matrix) ([]Answer, Stats, error) {
 	var st Stats
+	st.Plan = p.params.Plan
 	start := time.Now()
 	ec := p.newExec(ctx)
 	defer ec.Close()
@@ -237,6 +246,7 @@ func (p *Processor) QueryGraph(q *grn.Graph) ([]Answer, Stats, error) {
 // QueryGraphContext is QueryGraph under an explicit context.
 func (p *Processor) QueryGraphContext(ctx context.Context, q *grn.Graph) ([]Answer, Stats, error) {
 	var st Stats
+	st.Plan = p.params.Plan
 	start := time.Now()
 	ec := p.newExec(ctx)
 	defer ec.Close()
@@ -623,6 +633,11 @@ func (b *colBufs) growCols(n int) []int {
 // verification order and of how far other shards have raised the floor;
 // only which candidates get pruned — and so the pruning/cache counters —
 // depends on timing.
+//
+// The upper-bound computation here doubles as the top-k floor mechanism,
+// so the streamed path keeps it even under a plan that skips Markov
+// pruning (DisableMarkovPruning); the per-candidate Lemma-5 re-test
+// inside verifyCandidateAt is already skipped via skipMarkov.
 func (p *Processor) refineStreamed(ec *exec.Context, q *grn.Graph, sources []int, st *Stats) ([]Answer, error) {
 	sink := p.params.Sink
 	qEdges := q.Edges()
@@ -703,7 +718,14 @@ func (p *Processor) verifyCandidateAt(io pagestore.Toucher, q *grn.Graph, qEdges
 		cols[v] = c
 	}
 	// Lemma 5: prune with the product of pivot-based edge upper bounds.
-	if !skipMarkov {
+	// DisableMarkovPruning (a plan decision when the modeled bound cost
+	// exceeds its savings) sends the candidate straight to verification.
+	// Skipping is answer-safe per candidate — Lemma 5 only removes
+	// candidates that provably cannot match — but in sequential mode the
+	// extra verifications consume scorer draws, shifting later
+	// candidates' sample streams (same determinism contract as the batch
+	// kernel: deterministic per Seed, statistically equivalent).
+	if !skipMarkov && !p.params.DisableMarkovPruning {
 		mStart := time.Now()
 		if emb := p.idx.Embedding(src); emb != nil && len(qEdges) > 0 {
 			ub := 1.0

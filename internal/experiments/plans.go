@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/plan"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// plannedEngine runs each query under a fresh adaptive plan: the Planner
+// builds the plan from its live cost model plus the query's shape, and
+// the realized stage statistics are fed straight back. It mirrors what
+// the server's -plan-adaptive loop does per request.
+type plannedEngine struct {
+	entry         *sweepEntry
+	base          core.Params
+	planner       *plan.Planner
+	cache         *core.EdgeProbCache
+	nq            int
+	vectors       int
+	meanPivotCost float64
+}
+
+func (pe *plannedEngine) Query(mq *gene.Matrix) ([]core.Answer, core.Stats, error) {
+	pl, err := pe.planner.Plan(plan.Request{
+		Samples: pe.base.Samples,
+		Pivot:   true, Signatures: true, Markov: true, Batch: true,
+		QueryGenes:    pe.nq,
+		CacheEntries:  pe.cache.Len(),
+		DBVectors:     pe.vectors,
+		MeanPivotCost: pe.meanPivotCost,
+	})
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	cp := pe.base
+	cp.Plan = pl
+	cp.Cache = pe.cache
+	proc, err := core.NewProcessor(pe.entry.idx, cp)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	ans, st, err := proc.Query(mq)
+	if err != nil {
+		return nil, st, err
+	}
+	pe.planner.Observe(st.PlanFeedback())
+	return ans, st, nil
+}
+
+// Plans compares the fixed pipeline against the adaptive planner over a
+// mixed workload on the Uni dataset: the n_Q sweep doubles as an
+// easy/hard axis (narrow queries have few edges to verify, wide ones
+// stress Lemma-5 pruning and verification). One planner persists across
+// the whole sweep — it warms up on the first width (MinQueries is one
+// workload) and plans adaptively from the second on — and both
+// configurations share an edge-probability cache across the workload,
+// exactly the setting where skipping a dead stage pays. Reported per
+// width: average per-query seconds (inference + traversal + refinement)
+// for both configurations, the planner's skip decisions per stage, and
+// the modeled per-candidate stage costs behind those decisions (the
+// harness view of the imgrn_plan_* metric family).
+func Plans(p Params) ([]Figure, error) {
+	cache, err := newSweepCache(p)
+	if err != nil {
+		return nil, err
+	}
+	e, err := cache.entry(synth.Uniform)
+	if err != nil {
+		return nil, err
+	}
+	bs := e.idx.Stats()
+	meanPivot := 0.0
+	if bs.Vectors > 0 {
+		meanPivot = bs.PivotCostSum / float64(bs.Vectors)
+	}
+
+	// Query widths: the standard n_Q sweep, capped by the smallest
+	// database matrix so extraction cannot fail.
+	var widths []int
+	for _, nq := range NQSweep {
+		if nq <= p.NMin {
+			widths = append(widths, nq)
+		}
+	}
+	if len(widths) == 0 {
+		widths = []int{p.NQ}
+	}
+
+	planner := plan.NewPlanner(plan.Options{MinQueries: p.Queries})
+	fixedCache := core.NewEdgeProbCache(0)
+	adaptiveCache := core.NewEdgeProbCache(0)
+
+	fTime := Figure{ID: "plans-time", Title: "Fixed pipeline vs adaptive planner (Uni; caches shared across the sweep)",
+		XLabel: "n_Q", YLabel: "avg seconds per query"}
+	fixedS := Series{Name: "fixed (s)"}
+	adaptS := Series{Name: "adaptive (s)"}
+
+	fDecide := Figure{ID: "plans-decisions", Title: "Planner skip decisions per stage (count per width; warm-up width plans fixed)",
+		XLabel: "n_Q", YLabel: "skips"}
+	stageNames := []string{"pivot_prune", "signature", "markov_prune", "batch_kernel"}
+	skipS := make([]Series, len(stageNames))
+	for i, name := range stageNames {
+		skipS[i] = Series{Name: name}
+	}
+
+	fCost := Figure{ID: "plans-cost", Title: "Modeled refinement economics after each width (EWMA cost model)",
+		XLabel: "n_Q", YLabel: "seconds per candidate / rate"}
+	markovCostS := Series{Name: "markovPerCandidate (s)"}
+	mcCostS := Series{Name: "monteCarloPerCandidate (s)"}
+	hitRateS := Series{Name: "cacheHitRate"}
+
+	prevSkips := make(map[string]uint64)
+	for _, nq := range widths {
+		qs, ok := e.queries[nq]
+		if !ok {
+			qs, err = workload(e.ds, p, nq)
+			if err != nil {
+				return nil, err
+			}
+			e.queries[nq] = qs
+		}
+
+		cp := coreParams(p)
+		cp.Cache = fixedCache
+		proc, err := core.NewProcessor(e.idx, cp)
+		if err != nil {
+			return nil, err
+		}
+		aggF, err := runWorkload(proc, qs)
+		if err != nil {
+			return nil, err
+		}
+
+		pe := &plannedEngine{
+			entry:         e,
+			base:          coreParams(p),
+			planner:       planner,
+			cache:         adaptiveCache,
+			nq:            nq,
+			vectors:       bs.Vectors,
+			meanPivotCost: meanPivot,
+		}
+		aggA, err := runWorkload(pe, qs)
+		if err != nil {
+			return nil, err
+		}
+
+		x := float64(nq)
+		fixedS.X = append(fixedS.X, x)
+		fixedS.Y = append(fixedS.Y, aggF.InferSeconds+aggF.CPUSeconds)
+		adaptS.X = append(adaptS.X, x)
+		adaptS.Y = append(adaptS.Y, aggA.InferSeconds+aggA.CPUSeconds)
+
+		snap := planner.Snapshot()
+		for i, name := range stageNames {
+			skipS[i].X = append(skipS[i].X, x)
+			skipS[i].Y = append(skipS[i].Y, float64(snap.Skips[name]-prevSkips[name]))
+			prevSkips[name] = snap.Skips[name]
+		}
+		markovCostS.X = append(markovCostS.X, x)
+		markovCostS.Y = append(markovCostS.Y, snap.Cost.MarkovPerCandidate)
+		mcCostS.X = append(mcCostS.X, x)
+		mcCostS.Y = append(mcCostS.Y, snap.Cost.MonteCarloPerCandidate)
+		hitRateS.X = append(hitRateS.X, x)
+		hitRateS.Y = append(hitRateS.Y, snap.Cost.CacheHitRate)
+	}
+
+	fTime.Series = []Series{fixedS, adaptS}
+	fDecide.Series = skipS
+	fCost.Series = []Series{markovCostS, mcCostS, hitRateS}
+	return []Figure{fTime, fDecide, fCost}, nil
+}

@@ -27,6 +27,7 @@ var Registry = map[string]Runner{
 	"ablation": Ablation,
 	"latency":  Latency,
 	"measures": Measures,
+	"plans":    Plans,
 	"stages":   Stages,
 }
 

@@ -54,6 +54,11 @@ const (
 	// with Markov-bound early termination. In counts answers entering the
 	// merge, Out the answers surviving it.
 	StageMerge
+	// StagePlan is query-plan construction: the cost-model evaluation
+	// that fixes the Monte Carlo sample count and the prune-stage set
+	// before the pipeline runs. In is the number of queries the planner's
+	// cost model had observed, Out the chosen sample count R.
+	StagePlan
 
 	numStages
 )
@@ -62,7 +67,7 @@ const (
 // "stage" label on metrics and in JSON trace summaries.
 var stageNames = [numStages]string{
 	"infer", "traverse", "filter", "markov_prune", "monte_carlo", "topk",
-	"infer_kernel", "scatter", "merge",
+	"infer_kernel", "scatter", "merge", "plan",
 }
 
 // String returns the stage's metric/wire name.

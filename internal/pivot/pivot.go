@@ -173,9 +173,32 @@ func abs(v float64) float64 {
 	return v
 }
 
+// VectorCost is the per-vector term of the Figure-3 cost function: the
+// contribution of one gene vector with pivot distances dists[r] =
+// dist(X_s, piv_r),
+//
+//	min_r min_w ( d_r + d_w )  =  2 · min_r d_r
+//
+// (the double minimum collapses because the two pivot choices are
+// independent). It is the single scoring rule shared by pivot selection
+// (Cost), the ablation benchmarks, and the query planner's §4 cost-model
+// prior: lower cost means a larger expected pivot-based pruning region.
+func VectorCost(dists []float64) float64 {
+	if len(dists) == 0 {
+		return 0
+	}
+	min := dists[0]
+	for _, d := range dists[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return 2 * min
+}
+
 // Cost evaluates the Figure-3 cost function of a pivot set over matrix m:
 //
-//	T_i = Σ_s min_r min_w ( dist(X_s, piv_r) + dist(X_s, piv_w) )
+//	T_i = Σ_s VectorCost(dists_s) = Σ_s min_r min_w ( dist(X_s, piv_r) + dist(X_s, piv_w) )
 //
 // Lower cost means a larger expected pivot-based pruning region.
 func Cost(m *gene.Matrix, pivotIdx []int) float64 {
@@ -190,15 +213,7 @@ func Cost(m *gene.Matrix, pivotIdx []int) float64 {
 		for r, pv := range pivs {
 			dists[r] = vecmath.Euclidean(xs, pv)
 		}
-		best := dists[0] + dists[0]
-		for _, dr := range dists {
-			for _, dw := range dists {
-				if v := dr + dw; v < best {
-					best = v
-				}
-			}
-		}
-		total += best
+		total += VectorCost(dists)
 	}
 	return total
 }

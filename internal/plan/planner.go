@@ -1,0 +1,261 @@
+package plan
+
+import "sync"
+
+// Options tunes the adaptive Planner. The zero value takes the defaults
+// documented per field.
+type Options struct {
+	// MinQueries is the number of observed queries before adaptive
+	// decisions engage (default 32). Until then every plan is the fixed
+	// Resolve plan — the cost model must see real stage statistics
+	// before it is trusted to skip work.
+	MinQueries int
+
+	// Margin is the safety multiple a stage's modeled cost must exceed
+	// its modeled savings by before the stage is skipped (default 2):
+	// skip Lemma-5 pruning only when it costs more than Margin× what it
+	// saves. Conservative by construction — a stage that pays for
+	// itself is never dropped.
+	Margin float64
+
+	// Decay is the EWMA weight of the newest observation (default 0.2).
+	Decay float64
+
+	// MinPruneFrac is the observed selectivity below which a pure
+	// filter stage (pivot point-pair pruning, signature node filters)
+	// counts as dead weight and is skipped (default 0.002).
+	MinPruneFrac float64
+
+	// MinBatchGenes is the query width below which the batched
+	// inference kernel is replaced by the scalar path (default 3): with
+	// n_Q < 3 a target column has at most one partner, so the per-column
+	// permutation-batch setup cannot amortize.
+	MinBatchGenes int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinQueries <= 0 {
+		o.MinQueries = 32
+	}
+	if o.Margin <= 0 {
+		o.Margin = 2
+	}
+	if o.Decay <= 0 || o.Decay > 1 {
+		o.Decay = 0.2
+	}
+	if o.MinPruneFrac <= 0 {
+		o.MinPruneFrac = 0.002
+	}
+	if o.MinBatchGenes <= 0 {
+		o.MinBatchGenes = 3
+	}
+	return o
+}
+
+// Feedback is one finished query's stage statistics, fed back into the
+// cost model. The server builds it from core.Stats (whose counters the
+// obs-layer spans mirror); all durations are seconds.
+type Feedback struct {
+	// Candidates entered Lemma-5 pruning; PrunedL5 of them were removed
+	// by it; the survivors went to exact Monte Carlo verification.
+	Candidates int
+	PrunedL5   int
+
+	// MarkovSeconds / MonteCarloSeconds are the aggregate per-candidate
+	// stage durations (core.Stats.MarkovPrune / MonteCarlo).
+	MarkovSeconds     float64
+	MonteCarloSeconds float64
+
+	// Traversal selectivities: leaf point pairs checked/pruned by the
+	// pivot bound, node pairs visited/pruned by signatures + Lemma 6.
+	PointPairsChecked int
+	PointPairsPruned  int
+	NodePairsVisited  int
+	NodePairsPruned   int
+
+	// Edge-probability cache effectiveness during verification.
+	CacheHits   int
+	CacheMisses int
+}
+
+// ewma is an exponentially weighted moving average that starts at its
+// first observation.
+type ewma struct {
+	v    float64
+	seen bool
+}
+
+func (e *ewma) observe(x, decay float64) {
+	if !e.seen {
+		e.v, e.seen = x, true
+		return
+	}
+	e.v += decay * (x - e.v)
+}
+
+// Planner builds adaptive plans by evaluating the §4 cost model online:
+// it maintains EWMA estimates of per-candidate stage costs and stage
+// selectivities from query feedback and decides, per plan, whether each
+// optional prune stage still pays for itself. Safe for concurrent use.
+//
+// Determinism: Plan is a pure function of (Request, observed feedback
+// history, Options). Two planners fed the same history in the same
+// order produce identical plans.
+type Planner struct {
+	mu   sync.Mutex
+	opts Options
+
+	queries     int
+	markovCost  ewma // seconds per candidate entering Lemma 5
+	mcCost      ewma // seconds per candidate surviving to verification
+	markovPrune ewma // fraction of candidates pruned by Lemma 5
+	pointPrune  ewma // fraction of checked point pairs pruned by the pivot bound
+	nodePrune   ewma // fraction of node pairs pruned during traversal
+	cacheHit    ewma // cache hit rate during verification
+	skips       map[string]uint64
+}
+
+// NewPlanner returns a Planner with opts (zero value = defaults).
+func NewPlanner(opts Options) *Planner {
+	return &Planner{opts: opts.withDefaults(), skips: make(map[string]uint64)}
+}
+
+// Observe folds one finished query's statistics into the cost model.
+func (p *Planner) Observe(fb Feedback) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := p.opts.Decay
+	p.queries++
+	if fb.Candidates > 0 {
+		p.markovCost.observe(fb.MarkovSeconds/float64(fb.Candidates), d)
+		p.markovPrune.observe(float64(fb.PrunedL5)/float64(fb.Candidates), d)
+		if surv := fb.Candidates - fb.PrunedL5; surv > 0 {
+			p.mcCost.observe(fb.MonteCarloSeconds/float64(surv), d)
+		}
+	}
+	if fb.PointPairsChecked > 0 {
+		p.pointPrune.observe(float64(fb.PointPairsPruned)/float64(fb.PointPairsChecked), d)
+	}
+	if n := fb.NodePairsVisited + fb.NodePairsPruned; n > 0 {
+		p.nodePrune.observe(float64(fb.NodePairsPruned)/float64(n), d)
+	}
+	if n := fb.CacheHits + fb.CacheMisses; n > 0 {
+		p.cacheHit.observe(float64(fb.CacheHits)/float64(n), d)
+	}
+}
+
+// Queries reports how many queries the cost model has observed.
+func (p *Planner) Queries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.queries
+}
+
+// Plan builds the plan for req: the fixed Resolve plan, refined by the
+// cost model once it has observed at least Options.MinQueries queries.
+// Stage decisions (conservative by construction — see each rule):
+//
+//   - Lemma-5 Markov pruning is skipped when its modeled cost per
+//     candidate exceeds Margin× its modeled savings,
+//     pruneFrac · mcCost · (1 − cacheHitRate): a high cache hit rate or
+//     a dead prune rate makes the bound not worth computing.
+//   - Pivot point-pair pruning is skipped when its observed prune
+//     fraction falls below MinPruneFrac. Before any point pair has been
+//     observed, the §4 prior 1 − MeanPivotCost/4 stands in (the
+//     per-vector cost 2·min_r d_r maxes out at 4 for standardized
+//     vectors, where the bound is vacuous).
+//   - Signature node filters are skipped when the observed node-pair
+//     prune fraction falls below MinPruneFrac.
+//   - The batched inference kernel is replaced by the scalar path when
+//     the query is narrower than MinBatchGenes.
+func (p *Planner) Plan(req Request) (*Plan, error) {
+	pl, err := Resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pl.Cost = p.costModelLocked(req)
+	if p.queries < p.opts.MinQueries {
+		return pl, nil
+	}
+	skip := func(stage string) {
+		pl.Adaptive = true
+		pl.Skipped = append(pl.Skipped, stage)
+		p.skips[stage]++
+	}
+	if pl.Markov && p.markovCost.seen && p.mcCost.seen {
+		saving := pl.Cost.MarkovPruneFrac * pl.Cost.MonteCarloPerCandidate * (1 - pl.Cost.CacheHitRate)
+		if pl.Cost.MarkovPerCandidate > p.opts.Margin*saving {
+			pl.Markov = false
+			skip("markov_prune")
+		}
+	}
+	if pl.Pivot {
+		frac := pl.Cost.PointPruneFrac
+		if !p.pointPrune.seen {
+			// No leaf pair observed yet: fall back to the §4 prior.
+			frac = 1 - req.MeanPivotCost/4
+			if req.MeanPivotCost == 0 {
+				frac = 1 // unknown index: never skip on no evidence
+			}
+		}
+		if frac < p.opts.MinPruneFrac {
+			pl.Pivot = false
+			skip("pivot_prune")
+		}
+	}
+	if pl.Signatures && p.nodePrune.seen && pl.Cost.NodePruneFrac < p.opts.MinPruneFrac {
+		pl.Signatures = false
+		skip("signature")
+	}
+	if pl.Batch && req.QueryGenes > 0 && req.QueryGenes < p.opts.MinBatchGenes {
+		pl.Batch = false
+		skip("batch_kernel")
+	}
+	return pl, nil
+}
+
+// costModelLocked snapshots the EWMA state as a CostModel. The cache-hit
+// rate uses the density prior entries/(entries+vectors) until real
+// hit/miss observations arrive.
+func (p *Planner) costModelLocked(req Request) CostModel {
+	hit := p.cacheHit.v
+	if !p.cacheHit.seen && req.CacheEntries > 0 && req.DBVectors > 0 {
+		hit = float64(req.CacheEntries) / float64(req.CacheEntries+req.DBVectors)
+	}
+	return CostModel{
+		MarkovPerCandidate:     p.markovCost.v,
+		MonteCarloPerCandidate: p.mcCost.v,
+		MarkovPruneFrac:        p.markovPrune.v,
+		PointPruneFrac:         p.pointPrune.v,
+		NodePruneFrac:          p.nodePrune.v,
+		CacheHitRate:           hit,
+		MeanPivotCost:          req.MeanPivotCost,
+	}
+}
+
+// Snapshot is the observable planner state for metrics.
+type Snapshot struct {
+	// Queries observed by the cost model.
+	Queries int
+	// Cost is the current EWMA cost-model state.
+	Cost CostModel
+	// Skips counts lifetime stage-skip decisions by stage name.
+	Skips map[string]uint64
+}
+
+// Snapshot returns a copy of the planner's observable state.
+func (p *Planner) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	skips := make(map[string]uint64, len(p.skips))
+	for k, v := range p.skips {
+		skips[k] = v
+	}
+	return Snapshot{
+		Queries: p.queries,
+		Cost:    p.costModelLocked(Request{}),
+		Skips:   skips,
+	}
+}

@@ -59,6 +59,7 @@ import (
 	"github.com/imgrn/imgrn/internal/grn"
 	"github.com/imgrn/imgrn/internal/index"
 	"github.com/imgrn/imgrn/internal/obs"
+	"github.com/imgrn/imgrn/internal/plan"
 	"github.com/imgrn/imgrn/internal/randgen"
 	"github.com/imgrn/imgrn/internal/shard"
 )
@@ -95,6 +96,15 @@ type Server struct {
 	// params (see core.Params.Workers). 0 preserves the exact sequential
 	// per-query algorithm.
 	Workers int
+
+	// Planner, when non-nil, plans every query adaptively: each request's
+	// plan is built by the cost-model Planner (fed the coordinator's cache
+	// density and §4 pivot-cost figures) and installed on the params
+	// before the query runs, and every finished query's stage statistics
+	// are folded back into the model. Nil (the default) keeps the fixed
+	// default plan — byte-identical to the pre-planner pipeline. Set it
+	// before serving; the Planner itself is safe for concurrent use.
+	Planner *plan.Planner
 
 	// Metrics is the registry served at /metrics. New installs a fresh
 	// registry with the full imgrn_* metric catalog (see DESIGN.md).
@@ -138,6 +148,15 @@ type serverMetrics struct {
 	shed         *obs.Counter
 	slow         *obs.Counter
 	mutations    obs.CounterVec // by op (add, remove)
+
+	// Plan decision family: per-query plan modes and stage-skip decisions,
+	// the chosen sample count, and the planner's modeled per-candidate
+	// stage costs (realized EWMA, in nanoseconds — the registry gauges are
+	// integer-valued).
+	planQueries   obs.CounterVec // by mode (fixed, adaptive)
+	planSkips     obs.CounterVec // by skipped stage
+	planSamples   *obs.Gauge
+	planStageCost obs.GaugeVec // by stage (markov_prune, monte_carlo)
 
 	// Per-shard gauge families, one series per shard, refreshed from the
 	// coordinator snapshot on every /metrics scrape.
@@ -187,6 +206,14 @@ func (m *serverMetrics) init(r *obs.Registry) {
 		"Queries that exceeded SlowQueryThreshold.")
 	m.mutations = r.CounterVec("imgrn_mutations_total",
 		"Database mutations served, by operation (add, remove).", "op")
+	m.planQueries = r.CounterVec("imgrn_plan_queries_total",
+		"Queries served, by plan mode (fixed = the default pipeline, adaptive = at least one cost-model decision departed from it).", "mode")
+	m.planSkips = r.CounterVec("imgrn_plan_skips_total",
+		"Plan decisions that skipped a pipeline stage, by stage.", "stage")
+	m.planSamples = r.Gauge("imgrn_plan_samples",
+		"Monte Carlo sample count R chosen by the most recent query's plan.")
+	m.planStageCost = r.GaugeVec("imgrn_plan_stage_cost_nanos",
+		"Planner cost model: modeled per-candidate stage cost in nanoseconds (EWMA of realized costs).", "stage")
 	m.shardSources = r.GaugeVec("imgrn_shard_sources",
 		"Data sources placed on each shard.", "shard")
 	m.shardQueries = r.GaugeVec("imgrn_shard_queries",
@@ -213,6 +240,15 @@ func (m *serverMetrics) init(r *obs.Registry) {
 	}
 	for _, op := range []string{"add", "remove"} {
 		m.mutations.With(op)
+	}
+	for _, mode := range []string{"fixed", "adaptive"} {
+		m.planQueries.With(mode)
+	}
+	for _, stage := range []string{"pivot_prune", "signature", "markov_prune", "batch_kernel"} {
+		m.planSkips.With(stage)
+	}
+	for _, stage := range []string{"markov_prune", "monte_carlo"} {
+		m.planStageCost.With(stage)
 	}
 }
 
@@ -448,9 +484,15 @@ type GraphQueryRequest struct {
 
 // ParamsJSON mirrors core.Params for the wire.
 type ParamsJSON struct {
-	Gamma    float64 `json:"gamma"`
-	Alpha    float64 `json:"alpha"`
-	Samples  int     `json:"samples,omitempty"`
+	Gamma   float64 `json:"gamma"`
+	Alpha   float64 `json:"alpha"`
+	Samples int     `json:"samples,omitempty"`
+	// Eps and Delta request a per-query (ε, δ)-approximation: the plan
+	// then uses R = SampleSize(eps, delta) Monte Carlo samples (Lemma 2)
+	// instead of the fixed samples value. Values outside ε > 0,
+	// 0 < δ < 1 are answered with 400.
+	Eps      float64 `json:"eps,omitempty"`
+	Delta    float64 `json:"delta,omitempty"`
 	Seed     uint64  `json:"seed,omitempty"`
 	Analytic bool    `json:"analytic,omitempty"`
 	OneSided bool    `json:"oneSided,omitempty"`
@@ -515,6 +557,58 @@ type QueryStats struct {
 	MarkovSeconds     float64 `json:"markovPruneSeconds"`
 	MonteCarloSeconds float64 `json:"monteCarloSeconds"`
 	TotalSeconds      float64 `json:"totalSeconds"`
+	// Plan reports the execution plan the query ran under (present on
+	// every query; adaptive plans additionally carry the skipped stages
+	// and the cost-model snapshot behind the decisions).
+	Plan *PlanJSON `json:"plan,omitempty"`
+}
+
+// PlanJSON is the wire form of one query's execution plan.
+type PlanJSON struct {
+	// Mode is "fixed" (the default pipeline) or "adaptive" (at least one
+	// cost-model decision departed from it).
+	Mode string `json:"mode"`
+	// Samples is the Monte Carlo sample count R the estimators used.
+	Samples int `json:"samples"`
+	// FromAccuracy, Eps, Delta report that (and which) requested
+	// (ε, δ)-approximation chose Samples via the Lemma-2 bound.
+	FromAccuracy bool    `json:"fromAccuracy,omitempty"`
+	Eps          float64 `json:"eps,omitempty"`
+	Delta        float64 `json:"delta,omitempty"`
+	// Stage switches: false means the plan skipped the stage.
+	PivotPruning  bool `json:"pivotPruning"`
+	Signatures    bool `json:"signatures"`
+	MarkovPruning bool `json:"markovPruning"`
+	BatchKernel   bool `json:"batchKernel"`
+	// Skipped lists the adaptive departures by stage name; Cost is the
+	// planner's cost-model snapshot at plan time (both absent on fixed
+	// plans).
+	Skipped []string        `json:"skipped,omitempty"`
+	Cost    *plan.CostModel `json:"cost,omitempty"`
+}
+
+// planJSON maps a resolved plan onto the wire (nil in, nil out).
+func planJSON(pl *plan.Plan) *PlanJSON {
+	if pl == nil {
+		return nil
+	}
+	out := &PlanJSON{
+		Mode:          pl.Mode(),
+		Samples:       pl.EffectiveSamples(),
+		FromAccuracy:  pl.FromAccuracy,
+		Eps:           pl.Eps,
+		Delta:         pl.Delta,
+		PivotPruning:  pl.Pivot,
+		Signatures:    pl.Signatures,
+		MarkovPruning: pl.Markov,
+		BatchKernel:   pl.Batch,
+		Skipped:       pl.Skipped,
+	}
+	if pl.Adaptive {
+		cost := pl.Cost
+		out.Cost = &cost
+	}
+	return out
 }
 
 // statsJSON maps core.Stats onto the wire format.
@@ -540,6 +634,7 @@ func statsJSON(st core.Stats) QueryStats {
 		MarkovSeconds:     st.MarkovPrune.Seconds(),
 		MonteCarloSeconds: st.MonteCarlo.Seconds(),
 		TotalSeconds:      st.Total.Seconds(),
+		Plan:              planJSON(st.Plan),
 	}
 }
 
@@ -591,8 +686,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tr := obs.NewTracer()
-	params := s.params(req.Params, tr)
-	if err := params.Validate(); err != nil {
+	params, err := s.params(req.Params, len(ids), tr)
+	if err != nil {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -640,8 +735,8 @@ func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
 		q.SetEdge(e.S, e.T, e.Prob)
 	}
 	tr := obs.NewTracer()
-	params := s.params(req.Params, tr)
-	if err := params.Validate(); err != nil {
+	params, err := s.params(req.Params, len(ids), tr)
+	if err != nil {
 		s.error(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -741,18 +836,58 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	return true
 }
 
-// params maps the wire params onto core.Params. The coordinator supplies
-// each shard's edge-probability cache itself, keyed by estimator settings.
-func (s *Server) params(p ParamsJSON, tr *obs.Tracer) core.Params {
+// params maps the wire params onto core.Params, validates them, and —
+// when the server has a Planner — builds the query's adaptive plan under
+// a "plan" trace span (In = queries the cost model has observed, Out =
+// the chosen sample count R). Errors are client errors: out-of-range
+// thresholds or an invalid (ε, δ), answered with 400. The coordinator
+// supplies each shard's edge-probability cache itself, keyed by
+// estimator settings.
+func (s *Server) params(p ParamsJSON, queryGenes int, tr *obs.Tracer) (core.Params, error) {
 	workers := p.Workers
 	if workers <= 0 {
 		workers = s.Workers
 	}
-	return core.Params{
+	cp := core.Params{
 		Gamma: p.Gamma, Alpha: p.Alpha, Samples: p.Samples,
+		Eps: p.Eps, Delta: p.Delta,
 		Seed: p.Seed, Analytic: p.Analytic, OneSided: p.OneSided,
 		Workers: workers, Trace: tr,
 	}
+	if err := cp.Validate(); err != nil {
+		return cp, err
+	}
+	if s.Planner != nil {
+		mark := tr.Start(obs.StagePlan)
+		pl, err := s.Planner.Plan(s.planRequest(p, queryGenes))
+		if err != nil {
+			return cp, err
+		}
+		cp.Plan = pl
+		mark.End(s.Planner.Queries(), pl.EffectiveSamples())
+	}
+	return cp, nil
+}
+
+// planRequest assembles the Planner's view of one query from the wire
+// params and the coordinator's engine state: cached edge-probability
+// density across shards, the indexed vector count, and the index's mean
+// per-vector §4 pivot cost.
+func (s *Server) planRequest(p ParamsJSON, queryGenes int) plan.Request {
+	req := plan.Request{
+		Eps: p.Eps, Delta: p.Delta, Samples: p.Samples,
+		Pivot: true, Signatures: true, Markov: true, Batch: true,
+		QueryGenes: queryGenes,
+	}
+	for _, info := range s.coord.Snapshot() {
+		req.CacheEntries += info.CacheEntries
+	}
+	bs := s.coord.IndexStats()
+	req.DBVectors = bs.Vectors
+	if bs.Vectors > 0 {
+		req.MeanPivotCost = bs.PivotCostSum / float64(bs.Vectors)
+	}
+	return req
 }
 
 // observeQuery feeds one finished query's statistics and trace spans
@@ -773,6 +908,21 @@ func (s *Server) observeQuery(endpoint string, st core.Stats, tr *obs.Tracer) {
 	m.pageAccesses.Add(st.IOCost)
 	m.bufferHits.Add(st.IOHits)
 	m.readerPages.Set(int64(st.IOCost))
+	if pl := st.Plan; pl != nil {
+		m.planQueries.With(pl.Mode()).Inc()
+		m.planSamples.Set(int64(pl.EffectiveSamples()))
+		for _, stage := range pl.Skipped {
+			m.planSkips.With(stage).Inc()
+		}
+	}
+	if s.Planner != nil {
+		// Close the cost-model loop: realized stage statistics refine the
+		// EWMA estimates the next plan is decided on.
+		s.Planner.Observe(st.PlanFeedback())
+		snap := s.Planner.Snapshot()
+		m.planStageCost.With("markov_prune").Set(int64(snap.Cost.MarkovPerCandidate * 1e9))
+		m.planStageCost.With("monte_carlo").Set(int64(snap.Cost.MonteCarloPerCandidate * 1e9))
+	}
 	if s.SlowQueryThreshold > 0 && st.Total >= s.SlowQueryThreshold {
 		m.slow.Inc()
 		logger := s.SlowQueryLog

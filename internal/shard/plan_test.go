@@ -1,0 +1,52 @@
+package shard_test
+
+import (
+	"context"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/shard"
+	"github.com/imgrn/imgrn/internal/stats"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// TestScatterSharesAccuracyPlan: a P>1 query with a requested (ε, δ)
+// resolves its plan once at the coordinator — the reported stats carry
+// one plan with the Lemma-2 sample count R = SampleSize(ε, δ), exactly
+// like the once-inferred query graph is shared across the shards.
+func TestScatterSharesAccuracyPlan(t *testing.T) {
+	ds, err := synth.GenerateDatabase(synth.DBParams{
+		N: 12, NMin: 8, NMax: 12, LMin: 16, LMax: 20, Seed: 11, Dist: synth.Gaussian,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := shard.Build(ds.DB, shard.Options{NumShards: 3, Index: goldenOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _, err := ds.ExtractQuery(randgen.New(5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{Gamma: 0.5, Alpha: 0.4, Eps: 0.1, Delta: 0.05, Seed: 3}
+	_, st, err := coord.QueryContext(context.Background(), q, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := stats.SampleSize(0.1, 0.05)
+	if st.Plan == nil {
+		t.Fatal("sharded query stats carry no plan")
+	}
+	if !st.Plan.FromAccuracy || st.Plan.EffectiveSamples() != want {
+		t.Errorf("plan = %+v, want FromAccuracy with R=%d", st.Plan, want)
+	}
+
+	// Invalid accuracy is an error at the coordinator boundary, not a
+	// panic inside a shard worker.
+	params.Delta = 2
+	if _, _, err := coord.QueryContext(context.Background(), q, params); err == nil {
+		t.Error("bad (eps, delta) accepted by sharded query")
+	}
+}

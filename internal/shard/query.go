@@ -48,6 +48,10 @@ func (c *Coordinator) QueryContext(ctx context.Context, mq *gene.Matrix, params 
 	if len(c.shards) == 1 {
 		return c.queryOne(ctx, mq, params)
 	}
+	params, err := c.planOnce(params)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
 	start := time.Now()
 	q, st, err := c.inferOnce(ctx, mq, params)
 	if err != nil {
@@ -58,8 +62,22 @@ func (c *Coordinator) QueryContext(ctx context.Context, mq *gene.Matrix, params 
 		return nil, st, err
 	}
 	mergeScatterStats(&st, sst)
+	st.Plan = params.Plan
 	st.Total = time.Since(start)
 	return answers, st, nil
+}
+
+// planOnce resolves the query plan at the coordinator, before the
+// fan-out: the per-shard params copies in scatter share the resolved
+// *plan.Plan pointer, so every shard executes the same decisions — the
+// plan travels with the query exactly like the once-inferred query
+// graph. (Validation must precede resolution: a bad (Eps, Delta) is a
+// caller error, not a scatter failure.)
+func (c *Coordinator) planOnce(params core.Params) (core.Params, error) {
+	if err := params.Validate(); err != nil {
+		return params, err
+	}
+	return params.ResolvePlan()
 }
 
 // QueryGraphContext answers a query for an already-inferred query GRN
@@ -69,7 +87,8 @@ func (c *Coordinator) QueryGraphContext(ctx context.Context, q *grn.Graph, param
 		return c.queryGraphOne(ctx, q, params)
 	}
 	var st core.Stats
-	if err := params.Validate(); err != nil {
+	params, err := c.planOnce(params)
+	if err != nil {
 		return nil, st, err
 	}
 	start := time.Now()
@@ -80,6 +99,7 @@ func (c *Coordinator) QueryGraphContext(ctx context.Context, q *grn.Graph, param
 		return nil, st, err
 	}
 	mergeScatterStats(&st, sst)
+	st.Plan = params.Plan
 	st.Total = time.Since(start)
 	return answers, st, nil
 }
@@ -106,6 +126,10 @@ func (c *Coordinator) QueryTopKContext(ctx context.Context, mq *gene.Matrix, par
 		mark.End(in, len(answers))
 		return answers, st, nil
 	}
+	params, err := c.planOnce(params)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
 	start := time.Now()
 	q, st, err := c.inferOnce(ctx, mq, params)
 	if err != nil {
@@ -117,6 +141,7 @@ func (c *Coordinator) QueryTopKContext(ctx context.Context, mq *gene.Matrix, par
 		return nil, st, err
 	}
 	mergeScatterStats(&st, sst)
+	st.Plan = params.Plan
 	st.Total = time.Since(start)
 	return answers, st, nil
 }
@@ -140,6 +165,12 @@ func (c *Coordinator) InferGraph(m *gene.Matrix, params core.Params) (*grn.Graph
 // processor with the caller's params, byte-identical to the unsharded
 // engine.
 func (c *Coordinator) queryOne(ctx context.Context, mq *gene.Matrix, params core.Params) ([]core.Answer, core.Stats, error) {
+	// Resolve the plan before cache selection: the cache key includes the
+	// sample count, which an (Eps, Delta) accuracy request rewrites.
+	params, err := c.planOnce(params)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
 	s := c.shards[0]
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -155,6 +186,10 @@ func (c *Coordinator) queryOne(ctx context.Context, mq *gene.Matrix, params core
 
 // queryGraphOne is queryOne for pre-inferred query graphs.
 func (c *Coordinator) queryGraphOne(ctx context.Context, q *grn.Graph, params core.Params) ([]core.Answer, core.Stats, error) {
+	params, err := c.planOnce(params)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
 	s := c.shards[0]
 	s.mu.RLock()
 	defer s.mu.RUnlock()

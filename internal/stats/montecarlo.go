@@ -7,6 +7,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 
 	"github.com/imgrn/imgrn/internal/randgen"
@@ -18,11 +19,25 @@ import (
 // true ρ with confidence 1−δ:
 //
 //	S ≥ (3/ε²) · ln(2/δ).
+//
+// It panics outside the lemma's domain; use SampleSizeErr where the
+// parameters arrive from untrusted input (e.g. an HTTP request).
 func SampleSize(eps, delta float64) int {
-	if eps <= 0 || delta <= 0 || delta >= 1 {
+	n, err := SampleSizeErr(eps, delta)
+	if err != nil {
 		panic("stats: SampleSize requires eps > 0 and 0 < delta < 1")
 	}
-	return int(math.Ceil(3 / (eps * eps) * math.Log(2/delta)))
+	return n
+}
+
+// SampleSizeErr is SampleSize with the domain violation reported as an
+// error instead of a panic, so query paths can turn a bad requested
+// (ε, δ) into a validation failure.
+func SampleSizeErr(eps, delta float64) (int, error) {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 0, fmt.Errorf("stats: sample size needs eps > 0 and 0 < delta < 1 (got eps=%v, delta=%v)", eps, delta)
+	}
+	return int(math.Ceil(3 / (eps * eps) * math.Log(2/delta))), nil
 }
 
 // DefaultSamples is the Monte Carlo sample count used when callers do not

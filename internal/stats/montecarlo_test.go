@@ -43,6 +43,28 @@ func TestSampleSizePanics(t *testing.T) {
 	}
 }
 
+// TestSampleSizeErr: the error-returning variant agrees with SampleSize
+// on the valid domain and returns an error — never panics — outside it,
+// which is what the query path routes through so HTTP gets a 400.
+func TestSampleSizeErr(t *testing.T) {
+	for _, c := range []struct{ eps, delta float64 }{{0.1, 0.05}, {0.5, 0.5}, {0.01, 0.001}} {
+		n, err := SampleSizeErr(c.eps, c.delta)
+		if err != nil {
+			t.Fatalf("SampleSizeErr(%v, %v): %v", c.eps, c.delta, err)
+		}
+		if want := SampleSize(c.eps, c.delta); n != want {
+			t.Errorf("SampleSizeErr(%v, %v) = %d, want %d", c.eps, c.delta, n, want)
+		}
+	}
+	for _, c := range []struct{ eps, delta float64 }{
+		{0, 0.1}, {0.1, 0}, {0.1, 1}, {-1, 0.5}, {0.1, -0.5}, {0.1, 2},
+	} {
+		if _, err := SampleSizeErr(c.eps, c.delta); err == nil {
+			t.Errorf("SampleSizeErr(%v, %v): want error", c.eps, c.delta)
+		}
+	}
+}
+
 func stdPair(rng *randgen.Rand, l int) (xs, xt []float64) {
 	for {
 		xs = make([]float64, l)
