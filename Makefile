@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke bench-plan bench-plan-smoke experiments experiments-full fmt fmt-check vet metrics-smoke persist-smoke clean
+.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke bench-plan bench-plan-smoke bench-batch bench-batch-smoke experiments experiments-full fmt fmt-check vet metrics-smoke persist-smoke clean
 
 all: build test
 
@@ -65,6 +65,19 @@ bench-plan:
 # than the fixed pipeline on the mixed easy/hard workload.
 bench-plan-smoke:
 	BENCH_PLAN=1 $(GO) test -run TestPlanNotSlowerThanFixed -v .
+
+# Multi-query batch engine vs a sequential loop on the B=8 mixed-width
+# ad-hoc exploration workload -> BENCH_batch.json (ns/op, allocs/op,
+# derived batch-vs-sequential speedups for both batch modes).
+bench-batch:
+	$(GO) test -run xxx -bench 'BenchmarkBatchQuery' -benchmem . \
+	| $(GO) run ./cmd/imgrn-benchjson > BENCH_batch.json
+	@cat BENCH_batch.json
+
+# CI gate: the B=8 mixed-width batch (byte-identical default mode) must
+# beat 8 sequential queries by at least 1.25x.
+bench-batch-smoke:
+	BENCH_BATCH=1 $(GO) test -run TestBatchNotSlowerThanSequential -v .
 
 # The paper's evaluation at CI scale / Table-2 scale.
 experiments:

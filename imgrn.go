@@ -97,6 +97,19 @@ type (
 	TraceSpan = obs.Span
 	// SubgraphMatch is one embedding found by MatchSubgraph.
 	SubgraphMatch = subiso.Match
+	// BatchItem is one query of a QueryBatch call: a query matrix (or a
+	// pre-inferred query graph), its own QueryParams, and an optional
+	// per-item top-k cutoff.
+	BatchItem = core.BatchItem
+	// BatchResult is one batch item's outcome: answers, stats, and the
+	// item's own error (items fail independently).
+	BatchResult = core.BatchResult
+	// BatchOptions tunes one QueryBatch call: shared permutation batches,
+	// the per-item timeout, and the streaming result callback.
+	BatchOptions = core.BatchOptions
+	// BatchStats aggregates batch-level counters: traversal groups shared,
+	// permutation batches filled and probed, and per-item error counts.
+	BatchStats = core.BatchStats
 )
 
 // NewQueryTrace starts a per-query trace collector. Tracing observes the
@@ -507,6 +520,43 @@ func (e *Engine) QueryTopKContext(ctx context.Context, mq *Matrix, params QueryP
 	}
 	mark.End(in, len(answers))
 	return answers, stats, nil
+}
+
+// QueryBatch answers a batch of queries in one engine pass (DESIGN.md
+// §14): queries whose traversal parameters agree share a single R*-tree
+// descent per γ-group, plans resolve once per distinct request group,
+// and — with BatchOptions.SharedPerms — Monte Carlo permutation batches
+// are drawn once per probed column per batch. It returns one result per
+// item in item order; opts.OnResult streams each item as it completes.
+// Item errors are reported per item, never as a batch failure.
+//
+// With SharedPerms off, the results are byte-identical to calling Query
+// for each item sequentially on this engine; see BatchOptions for the
+// SharedPerms determinism contract.
+func (e *Engine) QueryBatch(items []BatchItem, opts BatchOptions) ([]BatchResult, BatchStats) {
+	return e.QueryBatchContext(context.Background(), items, opts)
+}
+
+// QueryBatchContext is QueryBatch under an explicit context: cancelling
+// ctx aborts the remaining items (each reporting the context error), and
+// opts.ItemTimeout bounds each item's active phases individually.
+func (e *Engine) QueryBatchContext(ctx context.Context, items []BatchItem, opts BatchOptions) ([]BatchResult, BatchStats) {
+	if e.coord != nil {
+		return e.coord.QueryBatch(ctx, items, opts)
+	}
+	// Resolve plans before cache selection: the cache key includes the
+	// sample count, which an (Eps, Delta) accuracy request rewrites.
+	// core.QueryBatch re-runs the (idempotent) resolution and re-derives
+	// the same per-item errors for items skipped here.
+	errs := core.ResolveBatchPlans(items)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for i := range items {
+		if errs[i] == nil {
+			items[i].Params.Cache = e.cacheFor(items[i].Params)
+		}
+	}
+	return core.QueryBatch(ctx, e.idx, items, opts)
 }
 
 // errNilQuery rejects nil query inputs at the public boundary.

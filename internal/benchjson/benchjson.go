@@ -127,18 +127,47 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, seenNs
 }
 
-// deriveSpeedups computes the scalar-vs-batch ratios of the inference
-// kernel benchmarks when both sides are present.
+// deriveSpeedups derives baseline-vs-candidate wall-clock ratios with one
+// generic sub-benchmark convention: within every benchmark family
+// "BenchmarkFam/<sub>" that reports at least two sub-runs, the FIRST sub
+// to appear is the family's baseline, and every later sub X yields an
+// entry "Fam_<X>_vs_<baseline>" = baselineNs / candidateNs (> 1 means X
+// is faster). Sub names are sanitized for the key ("P=1" -> "P1",
+// "workers=4" -> "workers4"), so sweep families derive their whole
+// comparison table with no per-family code: InferPruned (scalar first,
+// then batch), ShardQuery (P=1 first, then the P sweep), PlanQuery (fixed
+// first, then adaptive), BatchQuery (sequential first, then batch) — and
+// any future family that orders its baseline sub first.
+//
+// One legacy comparison predates the convention and is kept as a special
+// case: EdgeProbability_batch_vs_scalar compares two separate top-level
+// benchmarks on their reported ns/pair metric (per-pair cost, not ns/op).
 func deriveSpeedups(bs []Benchmark) map[string]float64 {
+	out := make(map[string]float64)
+	// Generic rule: first sub of each family is the baseline.
+	type baseline struct {
+		sub  string
+		nsOp float64
+	}
+	bases := make(map[string]baseline)
+	for _, b := range bs {
+		fam, sub, ok := splitFamily(b.Name)
+		if !ok || b.NsOp <= 0 {
+			continue
+		}
+		base, seen := bases[fam]
+		if !seen {
+			bases[fam] = baseline{sub: sub, nsOp: b.NsOp}
+			continue
+		}
+		key := fmt.Sprintf("%s_%s_vs_%s", strings.TrimPrefix(fam, "Benchmark"),
+			sanitizeSub(sub), sanitizeSub(base.sub))
+		out[key] = base.nsOp / b.NsOp
+	}
+	// Legacy special case: two top-level benchmarks compared on ns/pair.
 	byName := make(map[string]Benchmark, len(bs))
 	for _, b := range bs {
 		byName[b.Name] = b
-	}
-	out := make(map[string]float64)
-	if s, okS := byName["BenchmarkInferPruned/scalar"]; okS {
-		if b, okB := byName["BenchmarkInferPruned/batch"]; okB && b.NsOp > 0 {
-			out["InferPruned_batch_vs_scalar"] = s.NsOp / b.NsOp
-		}
 	}
 	s, okS := byName["BenchmarkEdgeProbabilityScalar"]
 	b, okB := byName["BenchmarkEdgeProbabilityBatch"]
@@ -149,25 +178,36 @@ func deriveSpeedups(bs []Benchmark) map[string]float64 {
 			out["EdgeProbability_batch_vs_scalar"] = sp / bp
 		}
 	}
-	// Sharded scatter-gather sweep (`make bench-shard`): P-shard query
-	// time vs the single-shard engine.
-	if p1, ok := byName["BenchmarkShardQuery/P=1"]; ok {
-		for _, p := range []int{2, 4, 8} {
-			name := fmt.Sprintf("BenchmarkShardQuery/P=%d", p)
-			if pb, ok := byName[name]; ok && pb.NsOp > 0 {
-				out[fmt.Sprintf("ShardQuery_P%d_vs_P1", p)] = p1.NsOp / pb.NsOp
-			}
-		}
-	}
-	// Adaptive planner vs fixed pipeline (`make bench-plan`): the mixed
-	// easy/hard workload under a warmed planner.
-	if f, ok := byName["BenchmarkPlanQuery/fixed"]; ok {
-		if a, ok := byName["BenchmarkPlanQuery/adaptive"]; ok && a.NsOp > 0 {
-			out["PlanQuery_adaptive_vs_fixed"] = f.NsOp / a.NsOp
-		}
-	}
 	if len(out) == 0 {
 		return nil
 	}
 	return out
+}
+
+// splitFamily splits "BenchmarkFam/sub" into (BenchmarkFam, sub); names
+// without a sub-benchmark are not part of any comparison family.
+func splitFamily(name string) (fam, sub string, ok bool) {
+	i := strings.IndexByte(name, '/')
+	if i <= 0 || i+1 >= len(name) {
+		return "", "", false
+	}
+	return name[:i], name[i+1:], true
+}
+
+// sanitizeSub maps a sub-benchmark name onto a speedup-key fragment:
+// '=' separators are dropped ("P=4" -> "P4") and any other
+// non-alphanumeric runs become '_'.
+func sanitizeSub(sub string) string {
+	var sb strings.Builder
+	for _, r := range sub {
+		switch {
+		case r == '=':
+			// drop
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
 }

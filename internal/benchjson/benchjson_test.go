@@ -103,6 +103,36 @@ func TestParseKeepsSubBenchNames(t *testing.T) {
 	}
 }
 
+// TestParseGenericFamilySpeedups pins the generic first-sub-baseline
+// convention on a family the parser has no bespoke knowledge of: the
+// first sub to appear is the baseline, every later sub derives an
+// "Fam_<sub>_vs_<baseline>" entry, and sub names sanitize ('=' dropped).
+func TestParseGenericFamilySpeedups(t *testing.T) {
+	const batchSample = `BenchmarkBatchQuery/sequential-8      10  8000000 ns/op
+BenchmarkBatchQuery/batch-8           10  4000000 ns/op
+BenchmarkBatchQuery/batch_sharedPerms-8  10  2000000 ns/op
+BenchmarkFutureSweep/width=2-8        10  1000000 ns/op
+BenchmarkFutureSweep/width=8-8        10  2000000 ns/op
+PASS
+`
+	sum, err := Parse(strings.NewReader(batchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Speedups["BatchQuery_batch_vs_sequential"]; got != 2 {
+		t.Errorf("BatchQuery_batch_vs_sequential = %v, want 2", got)
+	}
+	if got := sum.Speedups["BatchQuery_batch_sharedPerms_vs_sequential"]; got != 4 {
+		t.Errorf("BatchQuery_batch_sharedPerms_vs_sequential = %v, want 4", got)
+	}
+	if got := sum.Speedups["FutureSweep_width8_vs_width2"]; got != 0.5 {
+		t.Errorf("FutureSweep_width8_vs_width2 = %v, want 0.5", got)
+	}
+	if n := len(sum.Speedups); n != 3 {
+		t.Errorf("derived %d speedups, want 3: %+v", n, sum.Speedups)
+	}
+}
+
 func TestParseEmpty(t *testing.T) {
 	if _, err := Parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
 		t.Error("expected error on input without benchmark lines")

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// goldenBatchFingerprint pins the multi-query batch engine the same way
+// golden_test.go pins the solo pipeline: the fixed-seed workload runs
+// once through core.QueryBatch and once as a sequential loop of fresh
+// per-query processors over the same shared edge-probability cache (the
+// documented byte-identity reference), the two fingerprints must match
+// each other exactly, and the batch fingerprint is pinned to a golden
+// file. I/O counters are excluded: a shared γ-group traversal charges
+// the group's page touches to every member (DESIGN.md §14).
+func goldenBatchFingerprint(t *testing.T, params core.Params) string {
+	t.Helper()
+	ds, err := synth.GenerateDatabase(synth.DBParams{N: 120, NMin: 20, NMax: 40, LMin: 20, LMax: 30, Seed: 7, Dist: synth.Gaussian})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := index.Build(ds.DB, index.Options{D: 2, Samples: 24, Seed: 7, Bits: 512, BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randgen.New(99)
+	items := make([]core.BatchItem, 6)
+	for i := range items {
+		q, _, err := ds.ExtractQuery(rng, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := params
+		items[i] = core.BatchItem{Matrix: q, Params: p}
+	}
+
+	fingerprint := func(i int, a []core.Answer, st core.Stats) string {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "q%d answers=%d cand=%d genes=%d l5=%d npv=%d npp=%d ppc=%d ppp=%d qv=%d qe=%d ch=%d cm=%d\n",
+			i, len(a), st.CandidateMatrices, st.CandidateGenes, st.MatricesPrunedL5,
+			st.NodePairsVisited, st.NodePairsPruned, st.PointPairsChecked, st.PointPairsPruned,
+			st.QueryVertices, st.QueryEdges, st.CacheHits, st.CacheMisses)
+		for _, an := range a {
+			fmt.Fprintf(&sb, "  src=%d prob=%.17g edges=%d\n", an.Source, an.Prob, len(an.Edges))
+		}
+		return sb.String()
+	}
+
+	// Sequential reference: fresh processor per query, shared cache.
+	var seq strings.Builder
+	seqCache := core.NewEdgeProbCache(1 << 12)
+	for i := range items {
+		p := items[i].Params
+		p.Cache = seqCache
+		proc, err := core.NewProcessor(idx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, st, err := proc.Query(items[i].Matrix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq.WriteString(fingerprint(i, a, st))
+	}
+
+	batchCache := core.NewEdgeProbCache(1 << 12)
+	for i := range items {
+		items[i].Params.Cache = batchCache
+	}
+	results, bst := core.QueryBatch(context.Background(), idx, items, core.BatchOptions{})
+	if bst.Errors != 0 {
+		t.Fatalf("batch stats: %+v", bst)
+	}
+	var got strings.Builder
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("item %d: %v", i, r.Err)
+		}
+		got.WriteString(fingerprint(i, r.Answers, r.Stats))
+	}
+	if got.String() != seq.String() {
+		t.Errorf("batch diverged from its sequential reference:\n batch:\n%s\n sequential:\n%s",
+			got.String(), seq.String())
+	}
+	return got.String()
+}
+
+// TestMultiQueryGoldenFingerprint pins QueryBatch under the scalar
+// inference kernel to a fixed-seed fingerprint. Regenerate deliberately
+// with GOLDEN_WRITE=1 after an intentional algorithm change.
+func TestMultiQueryGoldenFingerprint(t *testing.T) {
+	got := goldenBatchFingerprint(t, core.Params{Gamma: 0.5, Alpha: 0.4, Samples: 48, Seed: 9,
+		DisableBatchInference: true})
+	compareGolden(t, "testdata/golden_multi.txt", got)
+}
+
+// TestMultiQueryBatchKernelGoldenFingerprint pins QueryBatch under the
+// batched inference kernel (the default), whose per-column RNG
+// consumption gives it a legitimately different fingerprint.
+func TestMultiQueryBatchKernelGoldenFingerprint(t *testing.T) {
+	got := goldenBatchFingerprint(t, core.Params{Gamma: 0.5, Alpha: 0.4, Samples: 48, Seed: 9})
+	compareGolden(t, "testdata/golden_multi_batch.txt", got)
+}

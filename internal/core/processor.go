@@ -39,6 +39,12 @@ type Processor struct {
 	scorer   *grn.RandomizedScorer
 	analytic grn.AnalyticScorer
 	pruner   *grn.Pruner
+
+	// permPool, when non-nil, replaces per-candidate Monte Carlo draws in
+	// verifyExact with probes against a batch-wide shared permutation
+	// store (QueryBatch's SharedPerms mode). Never set on analytic
+	// processors.
+	permPool *permPool
 }
 
 // NewProcessor returns a processor for idx with the given parameters.
@@ -812,7 +818,15 @@ func (p *Processor) verifyExact(io pagestore.Toucher, q *grn.Graph, qEdges []grn
 			}
 		}
 		if !cached {
-			ep = p.edgeProbVecWith(sc, bufs.a, bufs.b)
+			if p.permPool != nil {
+				// Batch shared-permutation mode: the target column's R
+				// permutations are drawn once per batch from a (seed,
+				// source, column)-addressed stream and probed here.
+				ep = p.permPool.prob(p.params.Seed, src, bcol, p.params.Samples,
+					p.params.OneSided, bufs.a, bufs.b)
+			} else {
+				ep = p.edgeProbVecWith(sc, bufs.a, bufs.b)
+			}
 			if p.params.Cache != nil {
 				p.params.Cache.Put(src, a, bcol, ep)
 			}

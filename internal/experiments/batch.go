@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/imgrn/imgrn/internal/core"
+	"github.com/imgrn/imgrn/internal/randgen"
+	"github.com/imgrn/imgrn/internal/synth"
+)
+
+// BSweep is the batch-size axis of the batch-execution study.
+var BSweep = []int{1, 2, 4, 8}
+
+// batchReps repeats each timed run (fresh caches every repetition, so
+// every run stays a cold batch) to damp wall-clock noise at the
+// sub-millisecond batch sizes of the fast mode.
+const batchReps = 3
+
+// batchWorkload builds one ad-hoc exploration batch of b queries: a
+// client studying a pathway probes the full extracted region and then
+// narrower variants of it. Each group of up to four items shares one
+// base extraction; the variants keep a prefix of the base's BFS-ordered
+// genes, so they stay connected and share anchor and neighbor genes —
+// the overlap regime the batch engine's shared γ-group traversal
+// amortizes.
+func batchWorkload(ds *synth.Dataset, rng *randgen.Rand, p Params, b int) ([]core.BatchItem, error) {
+	baseW := p.NQ
+	if baseW < 2 {
+		baseW = 2
+	}
+	widths := []int{baseW, 3 * baseW / 4, baseW / 2, 2}
+	for i := range widths {
+		if widths[i] < 2 {
+			widths[i] = 2
+		}
+	}
+	items := make([]core.BatchItem, 0, b)
+	for len(items) < b {
+		base, _, err := ds.ExtractQuery(rng, baseW)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: extracting batch base: %w", err)
+		}
+		for _, w := range widths {
+			if len(items) == b {
+				break
+			}
+			cols := make([]int, w)
+			for j := range cols {
+				cols[j] = j
+			}
+			q, err := base.SubMatrix(-1-len(items), cols)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, core.BatchItem{Matrix: q, Params: coreParams(p)})
+		}
+	}
+	return items, nil
+}
+
+// Batch measures the multi-query batch engine against a sequential loop
+// over the batch-size sweep on the Uni dataset. Every batch is the
+// ad-hoc exploration workload above, answered three ways under one
+// fresh edge-probability cache each: as B independent queries (what a
+// /query client pays today), as one engine batch in its byte-identical
+// default mode (shared γ-group traversals and plan resolution), and as
+// one batch with shared permutation fills (deterministic, not
+// byte-identical — it targets cold batches). Reported per B: average
+// wall seconds per batch for the three modes, plus the amortization
+// counters behind them (γ-groups per batch and edge probabilities
+// answered per shared permutation fill — the harness view of the
+// imgrn_batch_* metric family).
+func Batch(p Params) ([]Figure, error) {
+	cache, err := newSweepCache(p)
+	if err != nil {
+		return nil, err
+	}
+	e, err := cache.entry(synth.Uniform)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	rng := randgen.New(p.Seed ^ 0x51c64b7e92a8d035)
+
+	fTime := Figure{ID: "batch-time", Title: "Sequential loop vs batch engine (Uni; ad-hoc exploration batches)",
+		XLabel: "B (queries per batch)", YLabel: "avg seconds per batch"}
+	seqS := Series{Name: "sequential (s)"}
+	batS := Series{Name: "batch (s)"}
+	shS := Series{Name: "batch+sharedPerms (s)"}
+
+	fAmort := Figure{ID: "batch-amortization", Title: "Batch amortization counters (per batch)",
+		XLabel: "B (queries per batch)", YLabel: "count / ratio"}
+	groupS := Series{Name: "gamma-groups"}
+	probeS := Series{Name: "permProbesPerFill"}
+
+	runSequential := func(items []core.BatchItem) (time.Duration, error) {
+		c := core.NewEdgeProbCache(0)
+		start := time.Now()
+		for i := range items {
+			cp := items[i].Params
+			cp.Cache = c
+			proc, err := core.NewProcessor(e.idx, cp)
+			if err != nil {
+				return 0, err
+			}
+			if _, _, err := proc.Query(items[i].Matrix); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	runBatch := func(items []core.BatchItem, shared bool) (time.Duration, core.BatchStats, error) {
+		c := core.NewEdgeProbCache(0)
+		cp := make([]core.BatchItem, len(items))
+		copy(cp, items)
+		for i := range cp {
+			cp[i].Params.Cache = c
+		}
+		start := time.Now()
+		results, bst := core.QueryBatch(ctx, e.idx, cp, core.BatchOptions{SharedPerms: shared})
+		for i := range results {
+			if results[i].Err != nil {
+				return 0, bst, fmt.Errorf("batch item %d: %w", i, results[i].Err)
+			}
+		}
+		return time.Since(start), bst, nil
+	}
+
+	for _, b := range BSweep {
+		var seqT, batT, shT time.Duration
+		var groups, fills, probes float64
+		for w := 0; w < p.Queries; w++ {
+			items, err := batchWorkload(e.ds, rng, p, b)
+			if err != nil {
+				return nil, err
+			}
+			for rep := 0; rep < batchReps; rep++ {
+				d, err := runSequential(items)
+				if err != nil {
+					return nil, err
+				}
+				seqT += d
+				d, bst, err := runBatch(items, false)
+				if err != nil {
+					return nil, err
+				}
+				batT += d
+				groups += float64(bst.Groups)
+				d, bst, err = runBatch(items, true)
+				if err != nil {
+					return nil, err
+				}
+				shT += d
+				fills += float64(bst.PermFills)
+				probes += float64(bst.PermProbes)
+			}
+		}
+
+		n := float64(p.Queries * batchReps)
+		x := float64(b)
+		seqS.X = append(seqS.X, x)
+		seqS.Y = append(seqS.Y, seqT.Seconds()/n)
+		batS.X = append(batS.X, x)
+		batS.Y = append(batS.Y, batT.Seconds()/n)
+		shS.X = append(shS.X, x)
+		shS.Y = append(shS.Y, shT.Seconds()/n)
+		groupS.X = append(groupS.X, x)
+		groupS.Y = append(groupS.Y, groups/n)
+		probeS.X = append(probeS.X, x)
+		ratio := 0.0
+		if fills > 0 {
+			ratio = probes / fills
+		}
+		probeS.Y = append(probeS.Y, ratio)
+	}
+
+	fTime.Series = []Series{seqS, batS, shS}
+	fAmort.Series = []Series{groupS, probeS}
+	return []Figure{fTime, fAmort}, nil
+}

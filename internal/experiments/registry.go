@@ -25,6 +25,7 @@ var Registry = map[string]Runner{
 	"fig15": Fig15,
 	// Extensions beyond the paper's figures (DESIGN.md §5).
 	"ablation": Ablation,
+	"batch":    Batch,
 	"latency":  Latency,
 	"measures": Measures,
 	"plans":    Plans,

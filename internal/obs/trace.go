@@ -59,6 +59,12 @@ const (
 	// before the pipeline runs. In is the number of queries the planner's
 	// cost model had observed, Out the chosen sample count R.
 	StagePlan
+	// StageBatch is one multi-query batch execution (DESIGN.md §14): its
+	// duration is the wall-clock of the whole batch, In the number of
+	// queries submitted and Out the number that completed without error.
+	// The per-item pipeline stages are recorded into each item's own
+	// tracer; this span lives on the batch-level tracer.
+	StageBatch
 
 	numStages
 )
@@ -67,7 +73,7 @@ const (
 // "stage" label on metrics and in JSON trace summaries.
 var stageNames = [numStages]string{
 	"infer", "traverse", "filter", "markov_prune", "monte_carlo", "topk",
-	"infer_kernel", "scatter", "merge", "plan",
+	"infer_kernel", "scatter", "merge", "plan", "batch",
 }
 
 // String returns the stage's metric/wire name.

@@ -36,6 +36,7 @@
 //	GET  /debug/pprof/   net/http/pprof handlers (404 unless EnablePprof)
 //	POST /query          IM-GRN query from a feature matrix
 //	POST /query-graph    IM-GRN query from an explicit probabilistic pattern
+//	POST /query-batch    many queries in one engine batch, streamed as NDJSON
 //	POST /cluster        cluster the data sources by regulatory structure
 //	POST /add-matrix     index a new data source online
 //	POST /remove-matrix  drop a data source
@@ -91,6 +92,11 @@ type Server struct {
 	// (default 0 = unbounded). Excess requests are rejected immediately
 	// with 503 rather than queued.
 	MaxConcurrent int
+
+	// MaxBatchItems bounds the number of queries one /query-batch request
+	// may carry (default 256 when 0). Oversized batches are answered with
+	// 400 before any work runs.
+	MaxBatchItems int
 
 	// Workers is the intra-query parallelism passed to every query's
 	// params (see core.Params.Workers). 0 preserves the exact sequential
@@ -149,6 +155,17 @@ type serverMetrics struct {
 	slow         *obs.Counter
 	mutations    obs.CounterVec // by op (add, remove)
 
+	// Batch family: /query-batch request/item accounting plus the
+	// batch-engine sharing counters (γ-group traversals run, permutation
+	// pool fills and probes; see DESIGN.md §14).
+	batchRequests   *obs.Counter
+	batchQueries    *obs.Counter
+	batchSize       *obs.Histogram
+	batchItemErrs   *obs.Counter
+	batchGroups     *obs.Counter
+	batchPermFills  *obs.Counter
+	batchPermProbes *obs.Counter
+
 	// Plan decision family: per-query plan modes and stage-skip decisions,
 	// the chosen sample count, and the planner's modeled per-candidate
 	// stage costs (realized EWMA, in nanoseconds — the registry gauges are
@@ -206,6 +223,21 @@ func (m *serverMetrics) init(r *obs.Registry) {
 		"Queries that exceeded SlowQueryThreshold.")
 	m.mutations = r.CounterVec("imgrn_mutations_total",
 		"Database mutations served, by operation (add, remove).", "op")
+	m.batchRequests = r.Counter("imgrn_batch_requests_total",
+		"Batch requests served by /query-batch (each may carry many queries).")
+	m.batchQueries = r.Counter("imgrn_batch_queries_total",
+		"Queries carried by /query-batch requests.")
+	m.batchSize = r.Histogram("imgrn_batch_size",
+		"Queries per /query-batch request.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	m.batchItemErrs = r.Counter("imgrn_batch_item_errors_total",
+		"Batch items answered with an error frame (the batch itself succeeded).")
+	m.batchGroups = r.Counter("imgrn_batch_groups_total",
+		"Shared γ-group index traversals run by the batch engine.")
+	m.batchPermFills = r.Counter("imgrn_batch_perm_fills_total",
+		"Permutation-batch fills in shared-permutation mode (misses).")
+	m.batchPermProbes = r.Counter("imgrn_batch_perm_probes_total",
+		"Edge probabilities served from the shared permutation pool.")
 	m.planQueries = r.CounterVec("imgrn_plan_queries_total",
 		"Queries served, by plan mode (fixed = the default pipeline, adaptive = at least one cost-model decision departed from it).", "mode")
 	m.planSkips = r.CounterVec("imgrn_plan_skips_total",
@@ -235,7 +267,7 @@ func (m *serverMetrics) init(r *obs.Registry) {
 	for _, name := range obs.StageNames() {
 		m.stage.With(name)
 	}
-	for _, ep := range []string{"query", "query-graph", "cluster", "add-matrix", "remove-matrix"} {
+	for _, ep := range []string{"query", "query-graph", "query-batch", "cluster", "add-matrix", "remove-matrix"} {
 		m.requests.With(ep)
 	}
 	for _, op := range []string{"add", "remove"} {
@@ -289,6 +321,7 @@ func NewSharded(coord *shard.Coordinator, cat *gene.Catalog) *Server {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/query-graph", s.handleQueryGraph)
+	mux.HandleFunc("/query-batch", s.handleQueryBatch)
 	mux.HandleFunc("/cluster", s.handleCluster)
 	mux.HandleFunc("/add-matrix", s.handleAddMatrix)
 	mux.HandleFunc("/remove-matrix", s.handleRemoveMatrix)
