@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke bench-plan bench-plan-smoke bench-batch bench-batch-smoke experiments experiments-full fmt fmt-check vet metrics-smoke persist-smoke clean
+.PHONY: all build test race cover bench bench-figures bench-json bench-smoke bench-shard bench-shard-smoke bench-plan bench-plan-smoke bench-batch bench-batch-smoke experiments experiments-full fmt fmt-check vet metrics-smoke persist-smoke cluster-smoke clean
 
 all: build test
 
@@ -107,6 +107,13 @@ metrics-smoke:
 # scripts/persist_smoke.sh and DESIGN.md §12).
 persist-smoke:
 	sh scripts/persist_smoke.sh
+
+# End-to-end distributed-serving smoke test: 3 durable shard servers +
+# scatter-gather coordinator, replicated mutations, kill -9 failover,
+# warm rejoin, byte-identical answers throughout (see
+# scripts/cluster_smoke.sh and DESIGN.md §15).
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 clean:
 	rm -f cover.out

@@ -1,0 +1,204 @@
+// Cluster roles (DESIGN.md §15). The same binary serves all three
+// deployment shapes:
+//
+//	imgrn-server                          # standalone (the default role)
+//	imgrn-server -role shard ...          # shard server: hosts a slice of the
+//	                                      # global partition and the /cluster/*
+//	                                      # execution endpoints
+//	imgrn-server -role coordinator ...    # scatter-gather front: owns no data,
+//	                                      # fans /query and friends out to the
+//	                                      # -shards-at roster
+//
+// Every process is configured with the same -shards-at roster and
+// -replication factor; shard-to-server assignment is implicit (shard g
+// lives on servers (g+r) mod S), and source-to-shard placement runs on a
+// consistent-hash ring every member derives from the roster size alone —
+// so a cluster is defined entirely by flags, no placement service.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/imgrn/imgrn/internal/cluster"
+	"github.com/imgrn/imgrn/internal/gene"
+	"github.com/imgrn/imgrn/internal/index"
+	"github.com/imgrn/imgrn/internal/server"
+	"github.com/imgrn/imgrn/internal/shard"
+)
+
+// clusterFlags carries the cluster-role configuration from main.
+type clusterFlags struct {
+	role        string
+	shardsAt    string
+	serverIndex int
+	replication int
+	hedgeAfter  time.Duration
+	floorEvery  time.Duration
+	rpcTimeout  time.Duration
+	rpcRetries  int
+}
+
+// topology resolves the -shards-at roster into the shared cluster shape.
+func (cf *clusterFlags) topology() (cluster.Topology, error) {
+	var urls []string
+	for _, u := range strings.Split(cf.shardsAt, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, strings.TrimRight(u, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		return cluster.Topology{}, fmt.Errorf("-role %s requires -shards-at (comma-separated shard-server URLs)", cf.role)
+	}
+	r := cf.replication
+	if r <= 0 {
+		r = 2
+	}
+	if r > len(urls) {
+		r = len(urls)
+	}
+	topo := cluster.Topology{Servers: urls, NumShards: len(urls), Replication: r}
+	return topo, topo.Validate()
+}
+
+// serveShard boots the shard role: filter the database to the global
+// shards this server hosts (per the shared ring), build the local store
+// over exactly those shards, and serve the full HTTP surface plus the
+// /cluster/* execution endpoints.
+func serveShard(cf clusterFlags, dbPath, dataDir string, d int, seed uint64,
+	ckptBytes int64, ckptEvery time.Duration, addr string,
+	queryTimeout time.Duration, maxConcurrent, workers int,
+	pprofOn bool, slowQuery, drainTimeout time.Duration, planAdaptive bool) {
+	topo, err := cf.topology()
+	if err != nil {
+		fatal(err)
+	}
+	if cf.serverIndex < 0 || cf.serverIndex >= len(topo.Servers) {
+		fatal(fmt.Errorf("-server-index %d out of range [0,%d) for the -shards-at roster", cf.serverIndex, len(topo.Servers)))
+	}
+	ring := cluster.NewRing(topo.NumShards, 0)
+	owned := topo.ServerShards(cf.serverIndex)
+	role := &server.ShardRole{NumShards: topo.NumShards, Shards: owned, Ring: ring}
+	// The local store partitions into len(owned) LOCAL shards; placement
+	// maps a source through the shared ring to its global shard, then to
+	// that shard's local index here.
+	localOf := func(global int) int {
+		for local, g := range owned {
+			if g == global {
+				return local
+			}
+		}
+		return -1
+	}
+	placeLocal := func(source int) int {
+		if local := localOf(ring.Place(source)); local >= 0 {
+			return local
+		}
+		return 0 // unreachable for filtered boots; mutations are placement-checked at the handler
+	}
+	opts := shard.Options{
+		NumShards: len(owned),
+		PlaceFunc: placeLocal,
+		Index:     index.Options{D: d, Seed: seed, BufferPages: 1024},
+	}
+
+	if dataDir != "" {
+		db := loadOwned(dbPath, dataDir, ring, owned, localOf)
+		st, err := shard.OpenDurable(db, opts, shard.DurableOptions{
+			Dir:             dataDir,
+			CheckpointBytes: ckptBytes,
+			CheckpointEvery: ckptEvery,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ds := st.DurableStats()
+		fmt.Printf("cluster: shard server %d/%d serving global shards %v (R=%d, warm=%v gen=%d)\n",
+			cf.serverIndex, len(topo.Servers), owned, topo.Replication, ds.WarmBoot, ds.Gen)
+		serve(server.NewDurableShardServer(st, nil, role), st, addr, queryTimeout, maxConcurrent,
+			workers, pprofOn, slowQuery, drainTimeout, planAdaptive)
+		return
+	}
+
+	if dbPath == "" {
+		fatal(fmt.Errorf("-db is required for the shard role"))
+	}
+	db, err := gene.LoadDatabase(dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	owndb := filterOwned(db, ring, owned)
+	coord, err := shard.Build(owndb, opts)
+	if err != nil {
+		fatal(err)
+	}
+	bs := coord.IndexStats()
+	fmt.Printf("cluster: shard server %d/%d serving global shards %v (R=%d): %d sources, %d vectors\n",
+		cf.serverIndex, len(topo.Servers), owned, topo.Replication, owndb.Len(), bs.Vectors)
+	serve(server.NewShardServer(coord, nil, role), nil, addr, queryTimeout, maxConcurrent,
+		workers, pprofOn, slowQuery, drainTimeout, planAdaptive)
+}
+
+// loadOwned loads and filters the seed database for a durable shard
+// boot; a warm-bootable data directory skips the load entirely (the
+// snapshots already hold exactly the owned sources).
+func loadOwned(dbPath, dataDir string, ring *cluster.Ring, owned []int, localOf func(int) int) *gene.Database {
+	if _, err := os.Stat(filepath.Join(dataDir, "MANIFEST")); err == nil {
+		return nil // warm boot
+	}
+	if dbPath == "" {
+		fatal(fmt.Errorf("-db is required to initialize a fresh -data-dir"))
+	}
+	db, err := gene.LoadDatabase(dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	return filterOwned(db, ring, owned)
+}
+
+// filterOwned keeps the sources the shared ring places on an owned
+// global shard.
+func filterOwned(db *gene.Database, ring *cluster.Ring, owned []int) *gene.Database {
+	out := gene.NewDatabase()
+	for _, m := range db.Matrices() {
+		g := ring.Place(m.Source)
+		for _, og := range owned {
+			if og == g {
+				if err := out.Add(m); err != nil {
+					fatal(err)
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// serveCoordinator boots the coordinator role: a dataless scatter-gather
+// front over the -shards-at roster.
+func serveCoordinator(cf clusterFlags, addr string,
+	queryTimeout time.Duration, maxConcurrent, workers int,
+	pprofOn bool, slowQuery, drainTimeout time.Duration, planAdaptive bool) {
+	topo, err := cf.topology()
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := server.NewCluster(cluster.CoordinatorOptions{
+		Topology:   topo,
+		Client:     &cluster.Client{Timeout: cf.rpcTimeout, Retries: cf.rpcRetries},
+		HedgeAfter: cf.hedgeAfter,
+		FloorEvery: cf.floorEvery,
+	}, nil)
+	if err != nil {
+		fatal(err)
+	}
+	srv.Remote().Start()
+	defer srv.Remote().Close()
+	fmt.Printf("cluster: coordinator over %d shard servers (P=%d, R=%d)\n",
+		len(topo.Servers), topo.NumShards, topo.Replication)
+	serve(srv, nil, addr, queryTimeout, maxConcurrent,
+		workers, pprofOn, slowQuery, drainTimeout, planAdaptive)
+}

@@ -75,8 +75,38 @@ func main() {
 		ckptBytes     = flag.Int64("checkpoint-bytes", 64<<20, "checkpoint when live WAL segments exceed this many bytes (durable mode; <0 disables the size trigger)")
 		ckptEvery     = flag.Duration("checkpoint-every", 0, "background checkpoint interval while mutations are outstanding (durable mode; 0 = size-triggered and shutdown only)")
 		planAdaptive  = flag.Bool("plan-adaptive", false, "plan queries adaptively with the cost-model planner (per-query plans appear in the stats \"plan\" block and the imgrn_plan_* metrics; off = the fixed default pipeline)")
+
+		// Cluster roles (DESIGN.md §15; see cluster.go).
+		role        = flag.String("role", "", `cluster role: "" standalone, "shard" (host a slice of the global partition), "coordinator" (scatter-gather front over -shards-at)`)
+		shardsAt    = flag.String("shards-at", "", "comma-separated shard-server base URLs, roster order (cluster roles)")
+		serverIndex = flag.Int("server-index", -1, "this server's index in the -shards-at roster (shard role)")
+		replication = flag.Int("replication", 2, "replicas per global shard (clamped to the roster size)")
+		hedgeAfter  = flag.Duration("hedge-after", 250*time.Millisecond, "hedge a read to the next replica after this much silence (coordinator; negative disables)")
+		floorEvery  = flag.Duration("floor-every", 25*time.Millisecond, "top-k floor push cadence (coordinator; negative disables)")
+		rpcTimeout  = flag.Duration("rpc-timeout", 60*time.Second, "per-hop RPC budget (coordinator)")
+		rpcRetries  = flag.Int("rpc-retries", 2, "idempotent-read retries after transient RPC failures (coordinator)")
 	)
 	flag.Parse()
+
+	cf := clusterFlags{
+		role: *role, shardsAt: *shardsAt, serverIndex: *serverIndex,
+		replication: *replication, hedgeAfter: *hedgeAfter, floorEvery: *floorEvery,
+		rpcTimeout: *rpcTimeout, rpcRetries: *rpcRetries,
+	}
+	switch *role {
+	case "":
+	case "shard":
+		serveShard(cf, *dbPath, *dataDir, *d, *seed, *ckptBytes, *ckptEvery,
+			*addr, *queryTimeout, *maxConcurrent, *workers, *pprofOn, *slowQuery, *drainTimeout,
+			*planAdaptive)
+		return
+	case "coordinator":
+		serveCoordinator(cf, *addr, *queryTimeout, *maxConcurrent, *workers,
+			*pprofOn, *slowQuery, *drainTimeout, *planAdaptive)
+		return
+	default:
+		fatal(fmt.Errorf("unknown -role %q (want shard or coordinator)", *role))
+	}
 
 	if *dataDir != "" {
 		if *idxPath != "" {

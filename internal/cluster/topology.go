@@ -1,0 +1,74 @@
+package cluster
+
+import "fmt"
+
+// Topology is the static cluster shape: the shard-server roster, the
+// global shard count P, and the replication factor R. Every process in
+// the cluster is configured with the same topology (the -shards-at
+// roster, in order); shard-to-server assignment is then implicit —
+// shard g lives on servers (g+r) mod S for r in [0, R) — so adding a
+// flag, not a placement service, defines the cluster.
+type Topology struct {
+	// Servers are the shard-server base URLs, in roster order. A server's
+	// index in this slice is its identity (-server-index).
+	Servers []string
+	// NumShards is the global partition count P (len(Servers) when 0).
+	NumShards int
+	// Replication is the replica count R per shard (2 when 0, clamped to
+	// len(Servers)). R >= 2 keeps every shard readable through a single
+	// server failure.
+	Replication int
+}
+
+// withDefaults resolves the zero values; Validate reports the rest.
+func (t Topology) withDefaults() Topology {
+	if t.NumShards <= 0 {
+		t.NumShards = len(t.Servers)
+	}
+	if t.Replication <= 0 {
+		t.Replication = 2
+	}
+	if t.Replication > len(t.Servers) {
+		t.Replication = len(t.Servers)
+	}
+	return t
+}
+
+// Validate checks the topology is servable.
+func (t Topology) Validate() error {
+	if len(t.Servers) == 0 {
+		return fmt.Errorf("cluster: topology has no servers")
+	}
+	if t.NumShards < 1 {
+		return fmt.Errorf("cluster: topology has %d shards", t.NumShards)
+	}
+	if t.Replication < 1 || t.Replication > len(t.Servers) {
+		return fmt.Errorf("cluster: replication %d out of range [1,%d]", t.Replication, len(t.Servers))
+	}
+	return nil
+}
+
+// Replicas returns the server indexes hosting global shard g, primary
+// first: (g+r) mod S for r in [0, R).
+func (t Topology) Replicas(g int) []int {
+	out := make([]int, t.Replication)
+	for r := 0; r < t.Replication; r++ {
+		out[r] = (g + r) % len(t.Servers)
+	}
+	return out
+}
+
+// ServerShards returns the global shards hosted by server i, ascending —
+// the shard subset that server builds its local store over.
+func (t Topology) ServerShards(i int) []int {
+	var out []int
+	for g := 0; g < t.NumShards; g++ {
+		for _, s := range t.Replicas(g) {
+			if s == i {
+				out = append(out, g)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -29,6 +29,13 @@ type TopKSink struct {
 
 	mu      sync.Mutex
 	answers []Answer // sorted by (Prob desc, Source asc), len <= k
+
+	// onAccept, when set, observes every answer that enters the top-k set
+	// at the moment of insertion (it may later be displaced). The networked
+	// coordinator uses it to stream accepted answers to the remote merge so
+	// the cross-shard floor can propagate mid-query. Called with the sink
+	// lock held: the callback must not call back into the sink.
+	onAccept func(Answer)
 }
 
 // NewTopKSink returns a sink keeping the best k answers, with the query's
@@ -41,6 +48,32 @@ func NewTopKSink(k int, alpha float64) *TopKSink {
 
 // K returns the sink's capacity.
 func (s *TopKSink) K() int { return s.k }
+
+// Alpha returns the query's base α the sink was built with.
+func (s *TopKSink) Alpha() float64 { return s.alpha }
+
+// SetOnAccept installs the accepted-answer observer. Must be called
+// before the sink is shared with producers; the callback runs with the
+// sink lock held and must not call back into the sink.
+func (s *TopKSink) SetOnAccept(fn func(Answer)) { s.onAccept = fn }
+
+// RaiseFloor lifts the effective α to at least f. It is how a remote
+// coordinator propagates the global cross-shard floor into a shard
+// server's local sink: pruning against a floor above the local k-th
+// probability is safe because any candidate it suppresses could not have
+// entered the global top k either. Monotone — a floor below the current
+// one (or below the base α) is a no-op.
+func (s *TopKSink) RaiseFloor(f float64) {
+	for {
+		cur := s.floor.Load()
+		if math.Float64frombits(cur) >= f {
+			return
+		}
+		if s.floor.CompareAndSwap(cur, math.Float64bits(f)) {
+			return
+		}
+	}
+}
 
 // Floor returns the current effective α: the base α until k answers have
 // arrived, then the predecessor of the k-th probability. Monotone
@@ -67,6 +100,9 @@ func (s *TopKSink) Offer(a Answer) {
 	s.answers = append(s.answers, Answer{})
 	copy(s.answers[i+1:], s.answers[i:])
 	s.answers[i] = a
+	if s.onAccept != nil {
+		s.onAccept(a)
+	}
 	if len(s.answers) > s.k {
 		s.answers = s.answers[:s.k]
 	}

@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Round-trip property: encode→decode is the identity for every plan
+// shape the resolver or planner can produce — fixed and adaptive, both
+// inference kernels, with and without an accuracy request.
+func TestWireRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := &Plan{
+			Samples:    rng.Intn(5000),
+			Pivot:      rng.Intn(2) == 0,
+			Signatures: rng.Intn(2) == 0,
+			Markov:     rng.Intn(2) == 0,
+			Batch:      rng.Intn(2) == 0, // both kernels: batched and scalar
+		}
+		if rng.Intn(3) == 0 {
+			p.FromAccuracy = true
+			p.Eps = 0.05 + rng.Float64()/10
+			p.Delta = 0.01 + rng.Float64()/10
+		}
+		if rng.Intn(2) == 0 {
+			p.Adaptive = true
+			for _, st := range []string{"pivot_prune", "signature", "markov_prune", "batch_kernel"} {
+				if rng.Intn(2) == 0 {
+					p.Skipped = append(p.Skipped, st)
+				}
+			}
+			p.Cost = CostModel{
+				MarkovPerCandidate:     rng.Float64(),
+				MonteCarloPerCandidate: rng.Float64(),
+				MarkovPruneFrac:        rng.Float64(),
+				PointPruneFrac:         rng.Float64(),
+				NodePruneFrac:          rng.Float64(),
+				CacheHitRate:           rng.Float64(),
+				MeanPivotCost:          rng.Float64() * 4,
+			}
+		}
+		data, err := p.EncodeWire()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := DecodeWire(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("round trip diverged:\n  in  %+v\n  out %+v", p, got)
+		}
+	}
+}
+
+// The resolver's outputs — the plans that actually travel — round-trip
+// for both kernel settings.
+func TestWireRoundTripResolved(t *testing.T) {
+	for _, batch := range []bool{true, false} {
+		for _, req := range []Request{
+			{Samples: 200, Pivot: true, Signatures: true, Markov: true, Batch: batch},
+			{Eps: 0.1, Delta: 0.05, Pivot: true, Signatures: true, Markov: true, Batch: batch},
+		} {
+			p, err := Resolve(req)
+			if err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+			data, err := p.EncodeWire()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := DecodeWire(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, p) {
+				t.Fatalf("resolved plan diverged: %+v vs %+v", p, got)
+			}
+		}
+	}
+}
+
+func TestWireVersionMismatch(t *testing.T) {
+	p := &Plan{Samples: 100, Pivot: true, Signatures: true, Markov: true, Batch: true}
+	data, err := p.EncodeWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["version"] = WireVersion + 1
+	bumped, _ := json.Marshal(raw)
+	if _, err := DecodeWire(bumped); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("want ErrWireVersion, got %v", err)
+	}
+	// A missing version (old peer predating the format) is a mismatch too,
+	// never a silent zero-value plan.
+	delete(raw, "version")
+	unversioned, _ := json.Marshal(raw)
+	if _, err := DecodeWire(unversioned); !errors.Is(err, ErrWireVersion) {
+		t.Fatalf("want ErrWireVersion for missing version, got %v", err)
+	}
+}
+
+func TestWireUnknownFieldRejected(t *testing.T) {
+	data := []byte(`{"version":1,"samples":10,"pivot":true,"signatures":true,"markov":true,"batch":true,"surprise":1}`)
+	if _, err := DecodeWire(data); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodeWire([]byte(`{not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}

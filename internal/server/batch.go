@@ -191,7 +191,7 @@ func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 				emit(BatchFrameJSON{Index: i, Answers: resp.Answers, Stats: &st, Trace: resp.Trace})
 			},
 		}
-		_, bst = s.coord.QueryBatch(r.Context(), live, opts)
+		_, bst = s.eng.QueryBatch(r.Context(), live, opts)
 		itemErrs += bst.Errors
 	}
 	mark.End(len(items), len(items)-itemErrs)

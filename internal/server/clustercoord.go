@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http"
+
+	"github.com/imgrn/imgrn/internal/cluster"
+	"github.com/imgrn/imgrn/internal/gene"
+)
+
+// Coordinator-mode serving (DESIGN.md §15). NewCluster runs the same
+// HTTP surface as an in-process server over a remote cluster.Coordinator:
+// /query, /query-graph, /query-batch and the mutation endpoints
+// scatter-gather to the topology's shard servers, byte-identical to an
+// in-process deployment at the same shard count and placement. The
+// engine-internal endpoints degrade explicitly: /stats reports remote
+// per-shard loads without index internals, /cluster (structure
+// clustering) answers 501, and the planner stays nil (plans resolve
+// through the coordinator's fixed resolution so every shard executes
+// identical decisions).
+
+// NewCluster returns a coordinator-mode server over the cluster topology
+// in opts. The coordinator is built here so its imgrn_cluster_* and
+// imgrn_rpc_* families land on the server's /metrics registry; callers
+// reach it via Remote() (e.g. to Start the health-probe loop — NewCluster
+// itself performs no I/O).
+func NewCluster(opts cluster.CoordinatorOptions, cat *gene.Catalog) (*Server, error) {
+	s := newBase(cat)
+	opts.Registry = s.Metrics
+	remote, err := cluster.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	s.eng, s.remote = remote, remote
+	s.mux.HandleFunc(cluster.PathMembers, s.handleClusterMembers)
+	s.met.requests.With("cluster-members")
+	return s, nil
+}
+
+// Remote exposes the cluster coordinator behind a NewCluster server (nil
+// on every other server kind).
+func (s *Server) Remote() *cluster.Coordinator { return s.remote }
+
+// MembersResponse is the GET /cluster/members payload: the cluster
+// membership/health table.
+type MembersResponse struct {
+	NumShards   int              `json:"numShards"`
+	Replication int              `json:"replication"`
+	Members     []cluster.Member `json:"members"`
+}
+
+func (s *Server) handleClusterMembers(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.error(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	topo := s.remote.Topology()
+	s.met.requests.With("cluster-members").Inc()
+	writeJSON(w, http.StatusOK, MembersResponse{
+		NumShards:   topo.NumShards,
+		Replication: topo.Replication,
+		Members:     s.remote.Members(r.Context()),
+	})
+}
+
+// clusterStats is the coordinator-mode /stats: matrices and per-shard
+// loads from the last health snapshot. Index internals (vectors, tree
+// shape, pages, pivots) belong to the shard servers — scrape their /stats
+// for them — and report zero here.
+func (s *Server) clusterStats(w http.ResponseWriter, r *http.Request) {
+	// Probe synchronously: /stats is a low-traffic diagnostic and serving
+	// the boot-time snapshot would hide mutations until the next health
+	// tick.
+	s.remote.RefreshHealth(r.Context())
+	matrices := s.remote.Matrices()
+	infos := s.remote.ShardInfos()
+	shards := make([]ShardStatsJSON, len(infos))
+	for i, info := range infos {
+		shards[i] = ShardStatsJSON{
+			Shard:     info.Global,
+			Sources:   info.Sources,
+			Vectors:   info.Vectors,
+			Queries:   info.Queries,
+			Mutations: info.Mutations,
+		}
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Matrices:  matrices,
+		NumShards: s.remote.NumShards(),
+		Shards:    shards,
+	})
+}

@@ -145,12 +145,12 @@ func (s *Server) addMatrix(m *gene.Matrix) error {
 	if s.store != nil {
 		return s.store.AddMatrix(m)
 	}
-	return s.coord.AddMatrix(m)
+	return s.eng.AddMatrix(m)
 }
 
 func (s *Server) removeMatrix(source int) error {
 	if s.store != nil {
 		return s.store.RemoveMatrix(source)
 	}
-	return s.coord.RemoveMatrix(source)
+	return s.eng.RemoveMatrix(source)
 }

@@ -82,10 +82,10 @@ func (s *Server) handleAddMatrix(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.requests.With("add-matrix").Inc()
 	s.met.mutations.With("add").Inc()
-	sh, _ := s.coord.Placement(req.Source)
+	sh, _ := s.eng.Placement(req.Source)
 	writeJSON(w, http.StatusOK, MutateResponse{
 		Status: "ok", Source: req.Source, Shard: sh,
-		Matrices: s.coord.Database().Len(),
+		Matrices: s.eng.Matrices(),
 	})
 }
 
@@ -105,7 +105,7 @@ func (s *Server) handleRemoveMatrix(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	sh, _ := s.coord.Placement(req.Source)
+	sh, _ := s.eng.Placement(req.Source)
 	if err := s.removeMatrix(req.Source); err != nil {
 		if errors.Is(err, shard.ErrSourceNotFound) {
 			s.error(w, http.StatusNotFound, err.Error())
@@ -118,6 +118,6 @@ func (s *Server) handleRemoveMatrix(w http.ResponseWriter, r *http.Request) {
 	s.met.mutations.With("remove").Inc()
 	writeJSON(w, http.StatusOK, MutateResponse{
 		Status: "ok", Source: req.Source, Shard: sh,
-		Matrices: s.coord.Database().Len(),
+		Matrices: s.eng.Matrices(),
 	})
 }

@@ -65,19 +65,52 @@ import (
 	"github.com/imgrn/imgrn/internal/shard"
 )
 
-// Server handles IM-GRN HTTP requests over a shard coordinator (a single
-// shard for New, P shards for NewSharded). Handlers are safe for
-// concurrent use; queries do not serialize against each other because
-// each runs on its own execution context, and a mutation locks only the
-// shard its source is placed on.
+// Engine is the query/mutation surface the HTTP handlers run over. Three
+// implementations serve it: the in-process shard.Coordinator (New,
+// NewSharded, NewDurable), the same coordinator under a durable store,
+// and the remote cluster.Coordinator (NewCluster) that scatter-gathers
+// to networked shard servers — the handlers cannot tell them apart,
+// which is the deployment-transparency seam of DESIGN.md §15.
+type Engine interface {
+	QueryContext(ctx context.Context, mq *gene.Matrix, params core.Params) ([]core.Answer, core.Stats, error)
+	QueryGraphContext(ctx context.Context, q *grn.Graph, params core.Params) ([]core.Answer, core.Stats, error)
+	QueryTopKContext(ctx context.Context, mq *gene.Matrix, params core.Params, k int) ([]core.Answer, core.Stats, error)
+	QueryBatch(ctx context.Context, items []core.BatchItem, opts core.BatchOptions) ([]core.BatchResult, core.BatchStats)
+	AddMatrix(m *gene.Matrix) error
+	RemoveMatrix(source int) error
+	// NumShards is the GLOBAL shard count; Placement the global shard a
+	// source is (or would be) placed on; Matrices the indexed source
+	// count (cluster engines count each shard once, not per replica).
+	NumShards() int
+	Placement(source int) (int, bool)
+	Matrices() int
+}
+
+// Server handles IM-GRN HTTP requests over an Engine: an in-process
+// shard coordinator (a single shard for New, P shards for NewSharded, a
+// durable store for NewDurable) or a remote cluster coordinator
+// (NewCluster). Handlers are safe for concurrent use; queries do not
+// serialize against each other because each runs on its own execution
+// context, and a mutation locks only the shard its source is placed on.
 type Server struct {
+	eng Engine
+	// coord is the in-process coordinator behind eng, nil on
+	// coordinator-mode servers (NewCluster); the handlers that need
+	// engine INTERNALS — index build stats, the raw database, per-shard
+	// snapshots — guard on it.
 	coord *shard.Coordinator
 	// store, when non-nil (NewDurable), wraps coord with the durable
 	// lifecycle: mutations route through it so they are write-ahead
 	// logged and fsynced before the response is sent.
 	store *shard.Store
-	cat   *gene.Catalog
-	mux   *http.ServeMux
+	// remote is the cluster coordinator behind eng on NewCluster servers.
+	remote *cluster.Coordinator
+	// role marks a shard-role server (NewShardServer): the /cluster/*
+	// execution endpoints are mounted and floors tracks live top-k sinks.
+	role   *ShardRole
+	floors floorRegistry
+	cat    *gene.Catalog
+	mux    *http.ServeMux
 
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
@@ -312,7 +345,16 @@ func New(idx *index.Index, cat *gene.Catalog) *Server {
 // queries run scatter-gather across its shards and /stats and /metrics
 // carry per-shard counters.
 func NewSharded(coord *shard.Coordinator, cat *gene.Catalog) *Server {
-	s := &Server{coord: coord, cat: cat, MaxBodyBytes: 32 << 20, QueryTimeout: 30 * time.Second}
+	s := newBase(cat)
+	s.eng, s.coord = coord, coord
+	return s
+}
+
+// newBase builds the engine-agnostic server shell: config defaults, the
+// metrics registry with the full catalog, and the public routes. The
+// caller wires the engine (and any role-specific routes) afterwards.
+func newBase(cat *gene.Catalog) *Server {
+	s := &Server{cat: cat, MaxBodyBytes: 32 << 20, QueryTimeout: 30 * time.Second}
 	s.Metrics = obs.NewRegistry()
 	s.met.init(s.Metrics)
 	mux := http.NewServeMux()
@@ -353,7 +395,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.error(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.met.observeShards(s.coord.Snapshot())
+	if s.coord != nil {
+		s.met.observeShards(s.coord.Snapshot())
+	}
+	if s.remote != nil {
+		// Keep the membership gauges fresh even between health-probe
+		// ticks: a scrape is a natural staleness bound.
+		s.remote.RefreshHealth(r.Context())
+	}
 	if s.store != nil {
 		s.met.observeDurable(s.store.DurableStats())
 	}
@@ -462,6 +511,10 @@ type ShardStatsJSON struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.error(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.coord == nil {
+		s.clusterStats(w, r)
 		return
 	}
 	sum := s.coord.Database().Summary()
@@ -737,9 +790,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var answers []core.Answer
 	var st core.Stats
 	if req.Params.TopK > 0 {
-		answers, st, err = s.coord.QueryTopKContext(ctx, mq, params, req.Params.TopK)
+		answers, st, err = s.eng.QueryTopKContext(ctx, mq, params, req.Params.TopK)
 	} else {
-		answers, st, err = s.coord.QueryContext(ctx, mq, params)
+		answers, st, err = s.eng.QueryContext(ctx, mq, params)
 	}
 	if err != nil {
 		s.queryError(w, err)
@@ -780,7 +833,7 @@ func (s *Server) handleQueryGraph(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.queryContext(r)
 	defer cancel()
-	answers, st, err := s.coord.QueryGraphContext(ctx, q, params)
+	answers, st, err := s.eng.QueryGraphContext(ctx, q, params)
 	if err != nil {
 		s.queryError(w, err)
 		return
@@ -816,6 +869,12 @@ type ClusterJSON struct {
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	var req ClusterRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if s.coord == nil {
+		// Structure clustering needs the raw matrices; the cluster
+		// coordinator holds none. Run it against a shard server directly.
+		s.error(w, http.StatusNotImplemented, "/cluster is not served in coordinator mode")
 		return
 	}
 	db := s.coord.Database()
@@ -911,6 +970,11 @@ func (s *Server) planRequest(p ParamsJSON, queryGenes int) plan.Request {
 		Eps: p.Eps, Delta: p.Delta, Samples: p.Samples,
 		Pivot: true, Signatures: true, Markov: true, Batch: true,
 		QueryGenes: queryGenes,
+	}
+	if s.coord == nil {
+		// Coordinator mode: no local index to read cost signals from; the
+		// planner falls back to its model-only decisions.
+		return req
 	}
 	for _, info := range s.coord.Snapshot() {
 		req.CacheEntries += info.CacheEntries

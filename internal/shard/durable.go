@@ -449,7 +449,7 @@ func (st *Store) AddMatrix(m *gene.Matrix) error {
 		return fmt.Errorf("shard: matrix %d encodes to a %d-byte WAL record (limit %d): %w",
 			m.Source, len(payload), wal.MaxRecord, ErrMutationTooLarge)
 	}
-	sh := st.Coordinator.peekAddShard()
+	sh := st.Coordinator.peekAddShard(m.Source)
 	if err := st.Coordinator.AddMatrix(m); err != nil {
 		return err
 	}
@@ -731,12 +731,16 @@ func (st *Store) DurableStats() DurableStats {
 	return st.stats
 }
 
-// peekAddShard reports the shard the next AddMatrix will be placed on.
-// The Store's mutation lock keeps the cursor stable between the peek and
-// the placement.
-func (c *Coordinator) peekAddShard() int {
+// peekAddShard reports the shard an AddMatrix of source will be placed
+// on. The Store's mutation lock keeps the round-robin cursor stable
+// between the peek and the placement; a PlaceFunc placement depends only
+// on the source.
+func (c *Coordinator) peekAddShard(source int) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.opts.PlaceFunc != nil {
+		return c.opts.placeOf(source)
+	}
 	return c.cursor % len(c.shards)
 }
 

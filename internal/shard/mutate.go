@@ -16,15 +16,21 @@ var (
 	ErrSourceNotFound = errors.New("source not placed")
 )
 
-// Mutation routing. Placement is deterministic round-robin by arrival:
-// the i-th source ever placed goes to shard i mod P, so a database built
-// then grown reaches the same placement as one grown from empty in the
-// same order. A mutation write-locks only its own shard — queries on the
-// other P-1 shards and mutations routed elsewhere proceed concurrently —
-// and invalidates only the mutated source's cache entries on that shard.
+// Mutation routing. The default placement is deterministic round-robin
+// by arrival: the i-th source ever placed goes to shard i mod P, so a
+// database built then grown reaches the same placement as one grown from
+// empty in the same order. With Options.PlaceFunc set (the distributed
+// tier's consistent-hash ring) placement is instead a pure function of
+// the source ID — arrival order stops mattering, which is what lets
+// independent replicas of a shard agree on ownership without
+// coordination. Either way a mutation write-locks only its own shard —
+// queries on the other P-1 shards and mutations routed elsewhere proceed
+// concurrently — and invalidates only the mutated source's cache entries
+// on that shard.
 
-// AddMatrix places a new data source on the next round-robin shard and
-// indexes it there online. The source becomes immediately queryable.
+// AddMatrix places a new data source on its shard (round-robin, or
+// Options.PlaceFunc when set) and indexes it there online. The source
+// becomes immediately queryable.
 func (c *Coordinator) AddMatrix(m *gene.Matrix) error {
 	if m == nil {
 		return fmt.Errorf("shard: nil matrix")
@@ -35,6 +41,12 @@ func (c *Coordinator) AddMatrix(m *gene.Matrix) error {
 		return fmt.Errorf("shard: source %d on shard %d: %w", m.Source, sh, ErrSourceExists)
 	}
 	sh := c.cursor % len(c.shards)
+	if c.opts.PlaceFunc != nil {
+		sh = c.opts.placeOf(m.Source)
+	}
+	// The cursor still counts successful placements even under PlaceFunc:
+	// the durable manifest recovers it as checkpointed-cursor + replayed
+	// adds, so it must advance identically on every code path.
 	c.cursor++
 	c.placement[m.Source] = sh
 	c.mu.Unlock()

@@ -330,30 +330,7 @@ func (c *Coordinator) scatter(ctx context.Context, q *grn.Graph, params core.Par
 }
 
 // mergeScatterStats folds the per-shard stats of one scatter into the
-// aggregate query stats. Counters and I/O sum; stage durations sum too, so
-// like the Workers>1 refinement sub-stages they are aggregate across-shard
-// time and may exceed the query's wall-clock Total.
+// aggregate query stats; see core.MergeScatterStats.
 func mergeScatterStats(st *core.Stats, shards []core.Stats) {
-	answers := 0
-	for _, s := range shards {
-		st.Traversal += s.Traversal
-		st.Refinement += s.Refinement
-		st.MarkovPrune += s.MarkovPrune
-		st.MonteCarlo += s.MonteCarlo
-		st.IOCost += s.IOCost
-		st.IOHits += s.IOHits
-		st.NodePairsVisited += s.NodePairsVisited
-		st.NodePairsPruned += s.NodePairsPruned
-		st.PointPairsChecked += s.PointPairsChecked
-		st.PointPairsPruned += s.PointPairsPruned
-		st.CandidateGenes += s.CandidateGenes
-		st.CandidateMatrices += s.CandidateMatrices
-		st.MatricesPrunedL5 += s.MatricesPrunedL5
-		st.CacheHits += s.CacheHits
-		st.CacheMisses += s.CacheMisses
-		answers += s.Answers
-	}
-	// The merge may have trimmed (top-k): report what the shards produced;
-	// the caller's answer slice is authoritative for the final count.
-	st.Answers = answers
+	core.MergeScatterStats(st, shards)
 }

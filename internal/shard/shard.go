@@ -38,6 +38,15 @@ type Options struct {
 	// (Index.Seed, Source), so a matrix embeds identically whichever shard
 	// it lands on.
 	Index index.Options
+	// PlaceFunc, when non-nil, overrides the round-robin placement policy:
+	// a source is placed on shard PlaceFunc(source) mod NumShards, both at
+	// Build time and for every AddMatrix. The distributed tier supplies a
+	// consistent-hash ring here so placement is a pure function of the
+	// source ID — every coordinator and shard server derives the same
+	// placement independently. The function must be deterministic and safe
+	// for concurrent use; reopening a durable store must pass the same
+	// function, or recovered placement diverges from new placements.
+	PlaceFunc func(source int) int
 	// Workers bounds the scatter fan-out concurrency (NumShards when <= 0).
 	// Intra-shard parallelism is still governed by the per-query
 	// Params.Workers; with both set the products multiply, so configure one
@@ -54,6 +63,16 @@ type Options struct {
 	// source changes its shard-derived sample streams, so rebalancing is an
 	// explicit, offline decision). Called outside all coordinator locks.
 	OnImbalance func(loads []int)
+}
+
+// placeOf maps a source onto a shard through PlaceFunc, clamped into
+// [0, NumShards) so a misbehaving policy cannot index out of range.
+func (o Options) placeOf(source int) int {
+	sh := o.PlaceFunc(source) % o.NumShards
+	if sh < 0 {
+		sh += o.NumShards
+	}
+	return sh
 }
 
 func (o Options) withDefaults() Options {
@@ -169,6 +188,9 @@ func Build(db *gene.Database, opts Options) (*Coordinator, error) {
 	placement := make(map[int]int, db.Len())
 	for i, m := range db.Matrices() {
 		sh := i % p
+		if opts.PlaceFunc != nil {
+			sh = opts.placeOf(m.Source)
+		}
 		if err := parts[sh].Add(m); err != nil {
 			return nil, fmt.Errorf("shard: partitioning source %d: %w", m.Source, err)
 		}

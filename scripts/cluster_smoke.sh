@@ -1,0 +1,166 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end distributed-serving smoke test (DESIGN.md §15):
+# builds the real binaries, boots three durable shard servers plus a
+# scatter-gather coordinator over them (R=2 replication on a shared
+# consistent-hash ring), and asserts:
+#
+#   1. the coordinator answers /query-graph deterministically (two runs,
+#      byte-identical answers),
+#   2. /query-batch streams one frame per query plus a terminal done frame,
+#   3. mutations route through the ring, replicate to both replicas, and
+#      show up in the coordinator's aggregate /stats,
+#   4. kill -9 of one shard server leaves every query answerable — the
+#      surviving replicas take over with byte-identical answers,
+#   5. the killed server warm-restarts from its own -data-dir and rejoins,
+#   6. the cluster metric families are live on both roles.
+#
+# Run via `make cluster-smoke`. Exits non-zero on any violation.
+set -eu
+
+BASE="${SMOKE_PORT:-18990}"
+CPORT=$BASE
+P0=$((BASE + 1)); P1=$((BASE + 2)); P2=$((BASE + 3))
+ROSTER="http://127.0.0.1:$P0,http://127.0.0.1:$P1,http://127.0.0.1:$P2"
+TMP="$(mktemp -d)"
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+QUERY='{
+  "genes": ["1", "2"],
+  "edges": [{"s": 0, "t": 1, "prob": 0.6}],
+  "params": {"gamma": 0.5, "alpha": 0.3, "analytic": true}
+}'
+
+wait_healthy() { # port logfile pid
+    i=0
+    until curl -fsS "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ] || ! kill -0 "$3" 2>/dev/null; then
+            echo "FAIL: server on :$1 did not become healthy; log:" >&2
+            cat "$2" >&2
+            exit 1
+        fi
+        sleep 0.2
+    done
+}
+
+run_query() {
+    curl -fsS "http://127.0.0.1:$CPORT/query-graph" -d "$QUERY" | "$TMP/answersfilter"
+}
+
+start_shard() { # index port logfile
+    "$TMP/imgrn-server" -role shard -shards-at "$ROSTER" -server-index "$1" \
+        -replication 2 -db "$TMP/db.imgrn" -data-dir "$TMP/data$1" \
+        -addr "127.0.0.1:$2" >"$3" 2>&1 &
+    LAST_PID=$!
+    PIDS="$PIDS $LAST_PID"
+}
+
+echo "== building binaries"
+go build -o "$TMP/imgrn-datagen" ./cmd/imgrn-datagen
+go build -o "$TMP/imgrn-server" ./cmd/imgrn-server
+go build -o "$TMP/answersfilter" ./scripts/answersfilter
+
+echo "== generating tiny database"
+"$TMP/imgrn-datagen" -out "$TMP/db.imgrn" -n 40 -nmin 8 -nmax 14 -lmin 10 -lmax 16 -pool 60 -seed 7
+
+echo "== booting 3 durable shard servers (R=2)"
+start_shard 0 "$P0" "$TMP/shard0.log"; S0_PID=$LAST_PID
+start_shard 1 "$P1" "$TMP/shard1.log"; S1_PID=$LAST_PID
+start_shard 2 "$P2" "$TMP/shard2.log"; S2_PID=$LAST_PID
+wait_healthy "$P0" "$TMP/shard0.log" "$S0_PID"
+wait_healthy "$P1" "$TMP/shard1.log" "$S1_PID"
+wait_healthy "$P2" "$TMP/shard2.log" "$S2_PID"
+for i in 0 1 2; do
+    grep -q "cluster: shard server $i/3 serving global shards" "$TMP/shard$i.log" \
+        || { echo "FAIL: shard $i boot line missing; log:"; cat "$TMP/shard$i.log"; exit 1; }
+done
+
+echo "== booting coordinator"
+"$TMP/imgrn-server" -role coordinator -shards-at "$ROSTER" -replication 2 \
+    -addr "127.0.0.1:$CPORT" >"$TMP/coord.log" 2>&1 &
+COORD_PID=$!
+PIDS="$PIDS $COORD_PID"
+wait_healthy "$CPORT" "$TMP/coord.log" "$COORD_PID"
+grep -q 'cluster: coordinator over 3 shard servers (P=3, R=2)' "$TMP/coord.log" \
+    || { echo "FAIL: coordinator boot line missing; log:"; cat "$TMP/coord.log"; exit 1; }
+
+echo "== membership: 3 healthy shard servers"
+curl -fsS "http://127.0.0.1:$CPORT/cluster/members" >"$TMP/members.json"
+[ "$(grep -o '"healthy":true' "$TMP/members.json" | wc -l)" -eq 3 ] \
+    || { echo "FAIL: expected 3 healthy members:"; cat "$TMP/members.json"; exit 1; }
+
+echo "== scatter-gather query is deterministic"
+run_query >"$TMP/q1.answers"
+[ -s "$TMP/q1.answers" ] || { echo "FAIL: query returned no answers"; exit 1; }
+run_query >"$TMP/q2.answers"
+cmp -s "$TMP/q1.answers" "$TMP/q2.answers" \
+    || { echo "FAIL: identical queries returned different answers"; exit 1; }
+
+echo "== batch endpoint streams per-query frames"
+curl -fsS "http://127.0.0.1:$CPORT/query-batch" -d '{
+  "queries": [
+    {"genes": ["1", "2"], "edges": [{"s": 0, "t": 1, "prob": 0.6}],
+     "params": {"gamma": 0.5, "alpha": 0.3, "analytic": true}},
+    {"genes": ["2", "3"], "edges": [{"s": 0, "t": 1, "prob": 0.5}],
+     "params": {"gamma": 0.5, "alpha": 0.3, "analytic": true}}
+  ]
+}' >"$TMP/batch.ndjson"
+[ "$(wc -l <"$TMP/batch.ndjson")" -eq 3 ] \
+    || { echo "FAIL: batch stream should be 2 item frames + 1 done frame:"; cat "$TMP/batch.ndjson"; exit 1; }
+grep -q '"done":true' "$TMP/batch.ndjson" \
+    || { echo "FAIL: batch stream missing terminal done frame"; exit 1; }
+
+echo "== replicated mutations through the ring (3 adds + 1 remove)"
+for src in 900 901 902; do
+    curl -fsS "http://127.0.0.1:$CPORT/add-matrix" -d '{
+      "source": '"$src"',
+      "genes": ["1", "2"],
+      "columns": [[1,2,3,4,5,6,7,8,1,2,3,4],
+                  [2,1,4,3,6,5,8,7,2,1,4,3]]
+    }' >/dev/null || { echo "FAIL: add-matrix $src"; exit 1; }
+done
+curl -fsS "http://127.0.0.1:$CPORT/remove-matrix" -d '{"source": 5}' >/dev/null \
+    || { echo "FAIL: remove-matrix 5"; exit 1; }
+curl -fsS "http://127.0.0.1:$CPORT/stats" >"$TMP/stats.json"
+grep -q '"matrices":42' "$TMP/stats.json" \
+    || { echo "FAIL: expected 42 matrices (40 + 3 adds - 1 remove):"; cat "$TMP/stats.json"; exit 1; }
+run_query >"$TMP/q3.answers"
+
+echo "== kill -9 one shard server; replicated reads keep answering"
+kill -9 "$S2_PID"
+wait "$S2_PID" 2>/dev/null || true
+run_query >"$TMP/q4.answers"
+cmp -s "$TMP/q3.answers" "$TMP/q4.answers" \
+    || { echo "FAIL: answers changed after losing one replica:" >&2; \
+         diff "$TMP/q3.answers" "$TMP/q4.answers" >&2 || true; exit 1; }
+
+echo "== warm restart of the killed server from its own -data-dir"
+start_shard 2 "$P2" "$TMP/shard2b.log"; S2_PID=$LAST_PID
+wait_healthy "$P2" "$TMP/shard2b.log" "$S2_PID"
+grep -q 'warm=true' "$TMP/shard2b.log" \
+    || { echo "FAIL: restart was not a warm boot; log:"; cat "$TMP/shard2b.log"; exit 1; }
+run_query >"$TMP/q5.answers"
+cmp -s "$TMP/q3.answers" "$TMP/q5.answers" \
+    || { echo "FAIL: answers changed after warm rejoin"; exit 1; }
+
+echo "== cluster metric families present on both roles"
+curl -fsS "http://127.0.0.1:$CPORT/metrics" >"$TMP/coord-metrics.txt"
+for family in imgrn_cluster_members imgrn_cluster_scatters_total \
+    imgrn_rpc_requests_total imgrn_rpc_seconds; do
+    grep -q "^# TYPE $family " "$TMP/coord-metrics.txt" \
+        || { echo "FAIL: family $family missing from coordinator /metrics"; exit 1; }
+done
+grep -q '^imgrn_cluster_members 3$' "$TMP/coord-metrics.txt" \
+    || { echo "FAIL: imgrn_cluster_members should be 3"; exit 1; }
+grep -q '^imgrn_cluster_members_healthy 3$' "$TMP/coord-metrics.txt" \
+    || { echo "FAIL: all 3 members should be healthy after the rejoin"; exit 1; }
+curl -fsS "http://127.0.0.1:$P0/metrics" >"$TMP/shard-metrics.txt"
+grep -q 'endpoint="cluster-exec"' "$TMP/shard-metrics.txt" \
+    || { echo "FAIL: shard server /metrics missing cluster-exec label"; exit 1; }
+
+echo "PASS: scatter-gather deterministic, mutations replicated, kill -9 survived, warm rejoin byte-identical"
